@@ -1,0 +1,79 @@
+// Command dmgm-experiments regenerates the paper's evaluation: Table 1.1,
+// Table 5.1, and Figures 5.1–5.4 (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for the recorded outcomes).
+//
+// Usage:
+//
+//	dmgm-experiments                     # everything, default scale
+//	dmgm-experiments -run fig5.2         # one experiment
+//	dmgm-experiments -quick              # shrunken instances (seconds)
+//	dmgm-experiments -csv results.csv    # also emit CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "all | table1.1 | table1.1sweep | table5.1 | fig5.1 | fig5.2 | fig5.3 | fig5.4 | ablations")
+		quick   = flag.Bool("quick", false, "shrunken instances for a fast pass")
+		seed    = flag.Uint64("seed", 0, "seed (0 = default)")
+		csvPath = flag.String("csv", "", "also write tables as CSV to this file")
+
+		weakSub    = flag.Int("weak-subgrid", 0, "per-rank subgrid side for fig5.1 (0 = default)")
+		strongGrid = flag.Int("strong-grid", 0, "grid side for fig5.2 (0 = default)")
+		circuit    = flag.Int("circuit-side", 0, "circuit die side for fig5.3/5.4 (0 = default)")
+	)
+	flag.Parse()
+
+	o := expt.Options{
+		Out:         os.Stdout,
+		Quick:       *quick,
+		Seed:        *seed,
+		WeakSubgrid: *weakSub,
+		StrongGrid:  *strongGrid,
+		CircuitSide: *circuit,
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmgm-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		o.CSV = f
+	}
+
+	var err error
+	switch *run {
+	case "all":
+		err = expt.RunAll(o)
+	case "table1.1":
+		_, err = expt.Table11(o)
+	case "table1.1sweep":
+		_, err = expt.Table11WeightSweep(o)
+	case "table5.1":
+		err = expt.Table51(o)
+	case "fig5.1":
+		_, _, err = expt.Fig51(o)
+	case "fig5.2":
+		_, _, err = expt.Fig52(o)
+	case "fig5.3":
+		_, err = expt.Fig53(o)
+	case "fig5.4":
+		_, err = expt.Fig54(o)
+	case "ablations":
+		err = expt.Ablations(o)
+	default:
+		err = fmt.Errorf("unknown experiment %q", *run)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

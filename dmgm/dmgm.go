@@ -1,0 +1,429 @@
+// Package dmgm (distributed-memory graph matching and coloring) is the
+// public API of this repository — a Go reproduction of Çatalyürek, Dobrian,
+// Gebremedhin, Halappanavar and Pothen, "Distributed-Memory Parallel
+// Algorithms for Matching and Coloring" (IPDPS Workshops, 2011).
+//
+// The package re-exports the graph substrate and offers one-call entry
+// points for the four algorithm families:
+//
+//   - Match / MatchParallel — the ½-approximate edge-weighted matching by
+//     locally dominant edges, sequential and distributed (REQUEST /
+//     SUCCEEDED / FAILED message protocol with aggressive bundling).
+//   - MatchExactBipartite — the exact maximum-weight bipartite reference.
+//   - Color / ColorParallel — greedy distance-1 coloring, sequential over
+//     the ColPack orderings, and the distributed speculative/iterative
+//     framework with FIAB / FIAC / neighbor-customized communication.
+//
+// The distributed entry points run every rank as a goroutine over the
+// in-process message-passing runtime (internal/mpi), this repository's
+// substitute for MPI; see DESIGN.md for the substitution inventory. Lower
+// level control (building per-rank shares, running inside your own world,
+// collecting traffic statistics) is available through the internal packages
+// for in-module code, and mirrors what the examples under examples/ do.
+package dmgm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/dgraph"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mpi"
+	"repro/internal/order"
+	"repro/internal/partition"
+)
+
+// Graph types.
+type (
+	// Graph is a weighted undirected CSR graph.
+	Graph = graph.Graph
+	// Vertex indexes a vertex.
+	Vertex = graph.Vertex
+	// Edge is an undirected weighted edge.
+	Edge = graph.Edge
+	// Bipartite is a bipartite graph (matrix view).
+	Bipartite = graph.Bipartite
+	// Entry is a sparse-matrix nonzero.
+	Entry = graph.Entry
+	// Partition maps vertices to processors.
+	Partition = partition.Partition
+	// Mates is a matching.
+	Mates = matching.Mates
+	// Colors is a vertex coloring.
+	Colors = coloring.Colors
+	// Ordering names a greedy-coloring vertex ordering.
+	Ordering = order.Ordering
+)
+
+// None marks an absent vertex (e.g. an unmatched mate).
+const None = graph.None
+
+// Re-exported constructors and generators.
+var (
+	// NewGraph assembles a graph from an undirected edge list.
+	NewGraph = func(n int, edges []Edge) (*Graph, error) {
+		return graph.BuildUndirected(n, edges, graph.DedupeFirst)
+	}
+	// NewGraphSummed assembles a graph, summing the weights of parallel
+	// edges — the convention used by multilevel coarsening.
+	NewGraphSummed = func(n int, edges []Edge) (*Graph, error) {
+		return graph.BuildUndirected(n, edges, graph.DedupeSum)
+	}
+	// NewBipartite assembles a bipartite graph from matrix entries.
+	NewBipartite = func(nrows, ncols int, entries []Entry) (*Bipartite, error) {
+		return graph.BuildBipartite(nrows, ncols, entries, graph.DedupeMax)
+	}
+	// ReadGraphFile / WriteGraphFile use the text (default) or binary
+	// (".bin") formats.
+	ReadGraphFile  = graph.ReadFile
+	WriteGraphFile = graph.WriteFile
+
+	// Grid2D generates the paper's five-point grid model problem.
+	Grid2D = gen.Grid2D
+	// Circuit generates a circuit-simulation-like graph (G3_circuit
+	// stand-in).
+	Circuit = gen.Circuit
+	// CircuitBipartite is its bipartite (matrix) form.
+	CircuitBipartite = gen.CircuitBipartite
+	// ErdosRenyi, RMAT, Geometric, RandomBipartite generate irregular
+	// families.
+	ErdosRenyi      = gen.ErdosRenyi
+	RMAT            = gen.RMAT
+	Geometric       = gen.Geometric
+	RandomBipartite = gen.RandomBipartite
+
+	// PartitionBlock1D, PartitionGrid2D, PartitionBFS, PartitionRandom and
+	// PartitionMultilevel distribute vertices over processors.
+	PartitionBlock1D = partition.Block1D
+	PartitionGrid2D  = partition.Grid2D
+	PartitionBFS     = partition.BFS
+	PartitionRandom  = partition.Random
+)
+
+// PartitionMultilevel computes a METIS-like multilevel k-way partition.
+// refine=false selects the unrefined (ParMETIS-quality) variant.
+func PartitionMultilevel(g *Graph, p int, refine bool, seed uint64) (*Partition, error) {
+	return partition.Multilevel(g, p, partition.MultilevelOptions{Seed: seed, NoRefine: !refine})
+}
+
+// Vertex ordering names for Color.
+const (
+	OrderNatural         = order.Natural
+	OrderRandom          = order.Random
+	OrderLargestFirst    = order.LargestFirst
+	OrderSmallestLast    = order.SmallestLast
+	OrderIncidenceDegree = order.IncidenceDegree
+)
+
+// Match computes the sequential locally-dominant ½-approximate matching.
+func Match(g *Graph) Mates { return matching.LocallyDominant(g) }
+
+// MatchGreedy computes the sorted-edge greedy matching (same result, global
+// sort — the baseline the paper's local algorithm replaces).
+func MatchGreedy(g *Graph) Mates { return matching.Greedy(g) }
+
+// MatchExactBipartite computes the exact maximum-weight bipartite matching
+// (the Table 1.1 quality reference).
+func MatchExactBipartite(b *Bipartite) (Mates, error) { return matching.ExactBipartite(b) }
+
+// MatchSharedMemory computes the same matching as Match with the
+// shared-memory suitor algorithm on the given number of worker goroutines —
+// the single-node building block of the paper's hybrid (Section 6) outlook.
+func MatchSharedMemory(g *Graph, workers int) Mates { return matching.Suitor(g, workers) }
+
+// BMatching is a degree-constrained matching (vertex v may have up to B[v]
+// partners).
+type BMatching = matching.BMatching
+
+// UniformB builds a constant capacity vector.
+var UniformB = matching.UniformB
+
+// MatchB computes the greedy ½-approximate b-matching.
+func MatchB(g *Graph, b []int) (*BMatching, error) { return matching.GreedyB(g, b) }
+
+// MatchBParallel distributes g by part and runs the round-synchronized
+// distributed b-suitor; the result equals MatchB(g, b) for any partition.
+func MatchBParallel(g *Graph, part *Partition, b []int, deadline time.Duration) (*BMatching, error) {
+	if err := part.Validate(g); err != nil {
+		return nil, err
+	}
+	if len(b) != g.NumVertices() {
+		return nil, fmt.Errorf("dmgm: %d capacities for %d vertices", len(b), g.NumVertices())
+	}
+	shares, err := dgraph.Distribute(g, part)
+	if err != nil {
+		return nil, err
+	}
+	localB := make([][]int, part.P)
+	for rank, d := range shares {
+		lb := make([]int, d.NLocal)
+		for v := 0; v < d.NLocal; v++ {
+			lb[v] = b[d.GlobalOf(int32(v))]
+		}
+		localB[rank] = lb
+	}
+	if deadline == 0 {
+		deadline = 10 * time.Minute
+	}
+	results := make([]*matching.BParallelResult, part.P)
+	err = mpi.Run(part.P, func(c *mpi.Comm) error {
+		res, err := matching.BParallel(c, shares[c.Rank()], localB[c.Rank()], matching.BParallelOptions{})
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = res
+		return nil
+	}, mpi.WithDeadline(deadline))
+	if err != nil {
+		return nil, err
+	}
+	return matching.GatherB(shares, results, localB)
+}
+
+// Color greedily colors g in the given vertex ordering.
+func Color(g *Graph, o Ordering, seed uint64) (Colors, error) {
+	return coloring.Greedy(g, o, seed)
+}
+
+// ColorSharedMemory colors g with the speculative iterative scheme on
+// shared-memory worker goroutines.
+func ColorSharedMemory(g *Graph, workers int, seed uint64) Colors {
+	return coloring.SharedMemory(g, workers, seed)
+}
+
+// ColorDistance2 computes a distance-2 coloring (the variant consumed by
+// sparse-derivative compression).
+func ColorDistance2(g *Graph, o Ordering, seed uint64) (Colors, error) {
+	return coloring.GreedyDistance2(g, o, seed)
+}
+
+// VerifyColoringDistance2 checks a distance-2 coloring.
+func VerifyColoringDistance2(g *Graph, c Colors) error {
+	return coloring.VerifyDistance2(g, c)
+}
+
+// ColoringBounds returns simple lower/upper bounds on the chromatic number.
+func ColoringBounds(g *Graph) (lower, upper int) { return coloring.Bounds(g) }
+
+// MatchParallelOptions configures MatchParallel.
+type MatchParallelOptions struct {
+	// BundleBytes caps the message-aggregation buffers (0 = 64 KiB; set to
+	// 17, one record, to disable the paper's bundling).
+	BundleBytes int
+	// Deadline aborts a wedged run (0 = 10 minutes).
+	Deadline time.Duration
+}
+
+// MatchParallelResult reports a distributed matching run.
+type MatchParallelResult struct {
+	Mates  Mates
+	Weight float64
+	// OuterIterations is the maximum outer-loop count over ranks.
+	OuterIterations int64
+	// Messages and Bytes total the runtime traffic.
+	Messages, Bytes int64
+}
+
+// MatchParallel distributes g by part, runs the asynchronous distributed
+// matching with one goroutine rank per part, and gathers the global result.
+// The matching is identical to Match(g) for any partition.
+func MatchParallel(g *Graph, part *Partition, opt MatchParallelOptions) (*MatchParallelResult, error) {
+	if err := part.Validate(g); err != nil {
+		return nil, err
+	}
+	shares, err := dgraph.Distribute(g, part)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Deadline == 0 {
+		opt.Deadline = 10 * time.Minute
+	}
+	w, err := mpi.NewWorld(part.P, mpi.WithDeadline(opt.Deadline))
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*matching.ParallelResult, part.P)
+	err = w.Run(func(c *mpi.Comm) error {
+		res, err := matching.Parallel(c, shares[c.Rank()], matching.ParallelOptions{
+			MaxBundleBytes: opt.BundleBytes,
+		})
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = res // one writer per slot; Run joins before read
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mates, err := matching.Gather(shares, results)
+	if err != nil {
+		return nil, err
+	}
+	out := &MatchParallelResult{Mates: mates}
+	for _, r := range results {
+		out.Weight += r.LocalWeight
+		if r.OuterIterations > out.OuterIterations {
+			out.OuterIterations = r.OuterIterations
+		}
+	}
+	st := w.TotalStats()
+	out.Messages, out.Bytes = st.SentMsgs, st.SentBytes
+	return out, nil
+}
+
+// Coloring communication modes (Section 4.2).
+const (
+	CommNeighbors     = coloring.CommNeighbors
+	CommCustomizedAll = coloring.CommCustomizedAll
+	CommBroadcast     = coloring.CommBroadcast
+)
+
+// ColorParallelOptions configures ColorParallel; the zero value selects the
+// paper's preferred configuration (superstep 1000, neighbor-customized
+// communication, first fit, randomized conflict resolution).
+type ColorParallelOptions struct {
+	SuperstepSize int
+	CommMode      coloring.CommMode
+	Strategy      coloring.Strategy
+	Order         coloring.VertexOrder
+	Conflict      coloring.ConflictPolicy
+	Seed          uint64
+	Deadline      time.Duration
+	// Threads > 1 selects the hybrid mode: each rank colors its interior
+	// with this many worker goroutines (Section 6's MPI+OpenMP analogue).
+	Threads int
+}
+
+// ColorParallelResult reports a distributed coloring run.
+type ColorParallelResult struct {
+	Colors    Colors
+	NumColors int
+	Rounds    int
+	Conflicts int64
+	// Messages and Bytes total the runtime traffic.
+	Messages, Bytes int64
+}
+
+// ColorParallel distributes g by part and runs the speculative iterative
+// distance-1 coloring with one goroutine rank per part.
+func ColorParallel(g *Graph, part *Partition, opt ColorParallelOptions) (*ColorParallelResult, error) {
+	if err := part.Validate(g); err != nil {
+		return nil, err
+	}
+	shares, err := dgraph.Distribute(g, part)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Deadline == 0 {
+		opt.Deadline = 10 * time.Minute
+	}
+	w, err := mpi.NewWorld(part.P, mpi.WithDeadline(opt.Deadline))
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*coloring.ParallelResult, part.P)
+	err = w.Run(func(c *mpi.Comm) error {
+		res, err := coloring.Parallel(c, shares[c.Rank()], coloring.ParallelOptions{
+			SuperstepSize: opt.SuperstepSize,
+			CommMode:      opt.CommMode,
+			Strategy:      opt.Strategy,
+			Order:         opt.Order,
+			Conflict:      opt.Conflict,
+			Seed:          opt.Seed,
+			Threads:       opt.Threads,
+		})
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	colors, err := coloring.Gather(shares, results)
+	if err != nil {
+		return nil, err
+	}
+	out := &ColorParallelResult{
+		Colors:    colors,
+		NumColors: results[0].NumColors,
+		Rounds:    results[0].Rounds,
+	}
+	for _, r := range results {
+		out.Conflicts += r.Conflicts
+	}
+	st := w.TotalStats()
+	out.Messages, out.Bytes = st.SentMsgs, st.SentBytes
+	return out, nil
+}
+
+// ColorParallelDistance2 distributes g by part and runs the speculative
+// distance-2 coloring (one-layer ghosts, middle-vertex conflict detection,
+// forbidden-color notices). The paper's Jacobian motivation consumes exactly
+// this variant.
+func ColorParallelDistance2(g *Graph, part *Partition, opt ColorParallelOptions) (*ColorParallelResult, error) {
+	if err := part.Validate(g); err != nil {
+		return nil, err
+	}
+	shares, err := dgraph.Distribute(g, part)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Deadline == 0 {
+		opt.Deadline = 10 * time.Minute
+	}
+	w, err := mpi.NewWorld(part.P, mpi.WithDeadline(opt.Deadline))
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*coloring.ParallelResult, part.P)
+	err = w.Run(func(c *mpi.Comm) error {
+		res, err := coloring.ParallelDistance2(c, shares[c.Rank()], coloring.ParallelOptions{
+			SuperstepSize: opt.SuperstepSize,
+			Conflict:      opt.Conflict,
+			Seed:          opt.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	colors, err := coloring.Gather(shares, results)
+	if err != nil {
+		return nil, err
+	}
+	out := &ColorParallelResult{
+		Colors:    colors,
+		NumColors: results[0].NumColors,
+		Rounds:    results[0].Rounds,
+	}
+	for _, r := range results {
+		out.Conflicts += r.Conflicts
+	}
+	st := w.TotalStats()
+	out.Messages, out.Bytes = st.SentMsgs, st.SentBytes
+	return out, nil
+}
+
+// VerifyMatching checks validity and maximality of a matching on g.
+func VerifyMatching(g *Graph, m Mates) error { return m.VerifyMaximal(g) }
+
+// VerifyColoring checks that c is a proper complete coloring of g.
+func VerifyColoring(g *Graph, c Colors) error { return c.Verify(g) }
+
+// Version identifies the library.
+const Version = "1.0.0"
+
+// String renders a short banner.
+func String() string {
+	return fmt.Sprintf("dmgm %s — distributed-memory matching & coloring (IPDPS-W 2011 reproduction)", Version)
+}

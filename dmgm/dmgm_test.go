@@ -1,0 +1,188 @@
+package dmgm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEndToEndMatching(t *testing.T) {
+	g, err := Grid2D(16, 16, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := Match(g)
+	if err := VerifyMatching(g, seq); err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionGrid2D(16, 16, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MatchParallel(g, part, MatchParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMatching(g, res.Mates); err != nil {
+		t.Fatal(err)
+	}
+	// The matchings are identical edge sets; the per-rank weight sum may
+	// differ from the sequential sum in the last ulp (summation order).
+	for v := range seq {
+		if res.Mates[v] != seq[v] {
+			t.Fatalf("vertex %d: parallel mate %d, sequential %d", v, res.Mates[v], seq[v])
+		}
+	}
+	if got, want := res.Weight, seq.Weight(g); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("parallel weight %g, sequential %g", got, want)
+	}
+	if res.Messages == 0 {
+		t.Error("no messages recorded for a 4-rank run")
+	}
+}
+
+func TestEndToEndColoring(t *testing.T) {
+	g, err := Circuit(30, 30, 0.45, false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Color(g, OrderSmallestLast, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyColoring(g, seq); err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionMultilevel(g, 4, true, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ColorParallel(g, part, ColorParallelOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyColoring(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ColoringBounds(g)
+	if res.NumColors < lo || res.NumColors > hi {
+		t.Fatalf("parallel colors %d outside bounds [%d,%d]", res.NumColors, lo, hi)
+	}
+	if res.Rounds < 1 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+}
+
+func TestExactBipartiteFacade(t *testing.T) {
+	b, err := RandomBipartite(20, 20, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := MatchExactBipartite(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := Match(b.Graph)
+	if approx.Weight(b.Graph) > exact.Weight(b.Graph)+1e-9 {
+		t.Fatal("approximation exceeds optimum")
+	}
+	if MatchGreedy(b.Graph).Weight(b.Graph) != approx.Weight(b.Graph) {
+		t.Fatal("greedy and locally-dominant weights differ")
+	}
+}
+
+func TestFacadeRejectsBadPartition(t *testing.T) {
+	g, err := Grid2D(4, 4, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Partition{P: 2, Part: []int32{0}}
+	if _, err := MatchParallel(g, bad, MatchParallelOptions{}); err == nil {
+		t.Error("MatchParallel accepted bad partition")
+	}
+	if _, err := ColorParallel(g, bad, ColorParallelOptions{}); err == nil {
+		t.Error("ColorParallel accepted bad partition")
+	}
+}
+
+func TestBanner(t *testing.T) {
+	if !strings.Contains(String(), Version) {
+		t.Fatal("banner missing version")
+	}
+}
+
+func TestBMatchingFacade(t *testing.T) {
+	g, err := Grid2D(14, 14, true, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := UniformB(g.NumVertices(), 2)
+	seq, err := MatchB(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.VerifyMaximal(g); err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionGrid2D(14, 14, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MatchBParallel(g, part, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Weight(g) != seq.Weight(g) {
+		t.Fatalf("parallel b-matching weight %g, sequential %g", par.Weight(g), seq.Weight(g))
+	}
+}
+
+func TestDistance2Facade(t *testing.T) {
+	g, err := Circuit(16, 16, 0.45, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ColorDistance2(g, OrderNatural, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyColoringDistance2(g, seq); err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionBFS(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ColorParallelDistance2(g, part, ColorParallelOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyColoringDistance2(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	// Distance-2 needs at least as many colors as distance-1.
+	d1, err := Color(g, OrderNatural, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors < d1.NumColors() {
+		t.Fatalf("distance-2 used %d colors, distance-1 %d", res.NumColors, d1.NumColors())
+	}
+}
+
+func TestSharedMemoryFacades(t *testing.T) {
+	g, err := Grid2D(20, 20, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MatchSharedMemory(g, 4)
+	if err := VerifyMatching(g, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Weight(g) != Match(g).Weight(g) {
+		t.Fatal("suitor facade weight differs from sequential")
+	}
+	c := ColorSharedMemory(g, 4, 9)
+	if err := VerifyColoring(g, c); err != nil {
+		t.Fatal(err)
+	}
+}

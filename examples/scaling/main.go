@@ -1,0 +1,37 @@
+// Scaling: a miniature version of the paper's Section 5 study runnable in
+// seconds — weak scaling on five-point grids (Fig 5.1) and strong scaling
+// with a Blue Gene/P model extension (Fig 5.2), printed as the same kind of
+// Actual-vs-Ideal series the paper plots. For the full reproduction use
+// cmd/dmgm-experiments.
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	o := expt.Options{
+		Out:         os.Stdout,
+		Seed:        1,
+		WeakSubgrid: 48,
+		WeakProcs:   []int{1, 4, 16},
+		WeakModelProcs: []int{
+			64, 256, 1024,
+		},
+		StrongGrid:       192,
+		StrongProcs:      []int{1, 2, 4, 8, 16},
+		StrongModelProcs: []int{32, 64, 128, 256},
+	}
+	if err := expt.Table51(o); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := expt.Fig51(o); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := expt.Fig52(o); err != nil {
+		log.Fatal(err)
+	}
+}

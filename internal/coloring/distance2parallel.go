@@ -1,0 +1,370 @@
+package coloring
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dgraph"
+	"repro/internal/mpi"
+)
+
+// Distributed distance-2 coloring, the companion framework to Algorithm 4.1
+// (Bozdağ et al. developed the distance-2 variant of the same speculative
+// scheme; the paper's Jacobian motivation [7] is its consumer). The key
+// structural fact that makes one-layer ghosting sufficient: every distance-2
+// conflict (v, w) has a middle vertex u adjacent to both, and the OWNER OF
+// THE MIDDLE VERTEX sees both endpoints (as owned vertices or ghosts). So:
+//
+//   - the tentative coloring phase works as in distance-1, except a vertex
+//     avoids the known colors of its distance-2 neighborhood (neighbors of
+//     owned neighbors, plus ghost colors — the remote two-hop colors it
+//     cannot see are exactly what speculation tolerates);
+//   - in the conflict phase each rank scans, for every owned middle vertex,
+//     the pairs of equal-colored neighbors; the loser (smaller r) is
+//     re-colored — locally if owned, by a RECOLOR notice to its owner if
+//     not;
+//   - rounds repeat until a global Allreduce finds no re-color work.
+type d2State struct {
+	c   *mpi.Comm
+	d   *dgraph.DistGraph
+	opt ParallelOptions
+
+	colors     []int32
+	ghostColor []int32
+	picker     *firstFit
+	maxColors  int
+
+	vertexRankOff  []int32
+	vertexRankList []int32
+
+	out       *mpi.Bundler
+	notices   *mpi.Bundler
+	rounds    int
+	conflicts int64
+	// pendingNotices buffers RECOLOR notices that arrive early: a fast peer
+	// can pass the post-coloring barrier and start sending detection
+	// notices while this rank is still draining color updates. Each notice
+	// carries the winner's color.
+	pendingNotices []noticeRec
+	// forbidden accumulates, per owned vertex, colors of remote two-hop
+	// conflictors learned from notices. A loser cannot see the winner's
+	// color through its one-layer ghosts (the conflict's middle vertex lives
+	// on another rank), so without this memory it could re-pick the same
+	// color forever.
+	forbidden map[int32]map[int32]bool
+}
+
+// noticeRec is one received RECOLOR notice: the losing vertex and the color
+// it must avoid.
+type noticeRec struct {
+	gid   int64
+	color int32
+}
+
+// recolorTag carries distance-2 RECOLOR notices (global id + round marker).
+const recolorTag = 210
+
+// ParallelDistance2 runs the speculative distance-2 coloring on this rank's
+// share. Options are interpreted as for Parallel (CommMode is ignored: the
+// distance-2 scheme always uses neighbor-customized messages, the paper's
+// NEW mode).
+func ParallelDistance2(c *mpi.Comm, d *dgraph.DistGraph, opt ParallelOptions) (*ParallelResult, error) {
+	if c.Size() != d.P {
+		return nil, fmt.Errorf("coloring: world size %d, graph distributed over %d", c.Size(), d.P)
+	}
+	if c.Rank() != d.Rank {
+		return nil, fmt.Errorf("coloring: rank %d given share of rank %d", c.Rank(), d.Rank)
+	}
+	if opt.SuperstepSize == 0 {
+		opt.SuperstepSize = 200
+	}
+	if opt.SuperstepSize < 1 {
+		return nil, fmt.Errorf("coloring: non-positive superstep size %d", opt.SuperstepSize)
+	}
+	if opt.MaxRounds == 0 {
+		opt.MaxRounds = 128
+	}
+	s := &d2State{c: c, d: d, opt: opt}
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	localMax := int32(-1)
+	for _, col := range s.colors {
+		if col > localMax {
+			localMax = col
+		}
+	}
+	globalMax := c.AllreduceInt64(int64(localMax), mpi.OpMax)
+	return &ParallelResult{
+		Colors:    s.colors,
+		Rounds:    s.rounds,
+		Conflicts: s.conflicts,
+		NumColors: int(globalMax + 1),
+	}, nil
+}
+
+func (s *d2State) run() error {
+	d := s.d
+	n := d.NLocal
+	s.colors = make([]int32, n)
+	for i := range s.colors {
+		s.colors[i] = -1
+	}
+	s.ghostColor = make([]int32, d.NGhost)
+	for i := range s.ghostColor {
+		s.ghostColor[i] = -1
+	}
+	// Distance-2 degree bound: Δ² + 1 colors always suffice.
+	localMaxDeg := 0
+	for v := 0; v < n; v++ {
+		if deg := d.Degree(int32(v)); deg > localMaxDeg {
+			localMaxDeg = deg
+		}
+	}
+	globalMaxDeg := int(s.c.AllreduceInt64(int64(localMaxDeg), mpi.OpMax))
+	s.maxColors = globalMaxDeg*globalMaxDeg + 1
+	if int64(s.maxColors) > d.GlobalN {
+		s.maxColors = int(d.GlobalN)
+	}
+	if s.maxColors < 1 {
+		s.maxColors = 1
+	}
+	// Headroom for accumulated forbidden colors: a loser may collect one
+	// stale forbidden color per round beyond its live distance-2
+	// neighborhood, so the first-fit palette must not be able to fill up.
+	s.maxColors += s.opt.MaxRounds
+	s.picker = newFirstFit(s.maxColors)
+	s.forbidden = map[int32]map[int32]bool{}
+	s.buildVertexRanks()
+	s.out = mpi.NewBundler(s.c, colorTag, colorRecSize, 0)
+	s.notices = mpi.NewBundler(s.c, recolorTag, colorRecSize, 0)
+
+	u := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		u = append(u, int32(v))
+	}
+	for {
+		s.rounds++
+		if s.rounds > s.opt.MaxRounds {
+			return fmt.Errorf("coloring: distance-2 did not converge in %d rounds", s.opt.MaxRounds)
+		}
+		// Tentative coloring in supersteps; boundary colors ship to every
+		// neighbor rank (they may be two-hop-relevant there).
+		for lo := 0; lo < len(u); lo += s.opt.SuperstepSize {
+			hi := lo + s.opt.SuperstepSize
+			if hi > len(u) {
+				hi = len(u)
+			}
+			chunk := u[lo:hi]
+			var arcs int64
+			for _, v := range chunk {
+				s.colors[v] = s.pickColorD2(v)
+				arcs += int64(d.Degree(v))
+			}
+			s.c.ChargeOps(arcs, int64(len(chunk)))
+			s.shipChunk(chunk)
+			s.drain()
+		}
+		s.c.Barrier()
+		s.drain()
+
+		// Conflict detection at middle vertices. For every owned middle u,
+		// equal-colored neighbor pairs produce a loser; owned losers queue
+		// locally, remote losers get a RECOLOR notice.
+		recolorLocal := map[int32]bool{}
+		var detectArcs int64
+		for mid := int32(0); int(mid) < n; mid++ {
+			adj := d.Neighbors(mid)
+			detectArcs += int64(len(adj)) * int64(len(adj))
+			for i := 0; i < len(adj); i++ {
+				ci := s.colorOf(adj[i])
+				if ci < 0 {
+					continue
+				}
+				for j := i + 1; j < len(adj); j++ {
+					if s.colorOf(adj[j]) != ci {
+						continue
+					}
+					loser := s.loserOf(adj[i], adj[j])
+					if d.IsGhost(loser) {
+						var rec [colorRecSize]byte
+						encodeColorRec(rec[:], d.GlobalOf(loser), ci)
+						s.notices.Add(d.OwnerOf(loser), rec[:])
+					} else {
+						recolorLocal[loser] = true
+					}
+				}
+			}
+			// The middle vertex itself also conflicts with any neighbor of
+			// equal color (distance-1 ⊂ distance-2).
+			cm := s.colors[mid]
+			if cm < 0 {
+				continue
+			}
+			for _, nb := range adj {
+				if s.colorOf(nb) != cm {
+					continue
+				}
+				loser := s.loserOf(mid, nb)
+				if d.IsGhost(loser) {
+					var rec [colorRecSize]byte
+					encodeColorRec(rec[:], d.GlobalOf(loser), cm)
+					s.notices.Add(d.OwnerOf(loser), rec[:])
+				} else {
+					recolorLocal[loser] = true
+				}
+			}
+		}
+		s.c.ChargeOps(detectArcs, 0)
+		s.notices.Flush()
+		s.c.Barrier()
+		// Collect remote recolor notices (buffered early arrivals included).
+		s.drain()
+		for _, nr := range s.pendingNotices {
+			l, ok := d.LocalOf(nr.gid)
+			if !ok || d.IsGhost(l) {
+				panic("coloring: recolor notice for non-owned vertex")
+			}
+			recolorLocal[l] = true
+			if s.forbidden[l] == nil {
+				s.forbidden[l] = map[int32]bool{}
+			}
+			s.forbidden[l][nr.color] = true
+		}
+		s.pendingNotices = s.pendingNotices[:0]
+		u = u[:0]
+		for v := range recolorLocal {
+			u = append(u, v)
+			s.colors[v] = -1 // do not let stale colors mask new conflicts
+		}
+		sortInt32(u)
+		s.conflicts += int64(len(u))
+		// Re-announce cleared colors? Not needed: losers re-color next round
+		// and ship fresh colors then; peers comparing against the stale value
+		// may raise a spurious extra notice, which is harmless.
+		if s.c.AllreduceInt64(int64(len(u)), mpi.OpSum) == 0 {
+			return nil
+		}
+	}
+}
+
+// colorOf reads the current color of a local index (owned or ghost).
+func (s *d2State) colorOf(l int32) int32 {
+	if s.d.IsGhost(l) {
+		return s.ghostColor[int(l)-s.d.NLocal]
+	}
+	return s.colors[l]
+}
+
+// loserOf picks the endpoint that must re-color, by the framework's random
+// priority with id tie-break.
+func (s *d2State) loserOf(a, b int32) int32 {
+	ga, gb := s.d.GlobalOf(a), s.d.GlobalOf(b)
+	if s.opt.Conflict == ConflictMinID {
+		if ga < gb {
+			return a
+		}
+		return b
+	}
+	ra, rb := rnd(s.opt.Seed, ga), rnd(s.opt.Seed, gb)
+	if ra < rb || (ra == rb && ga < gb) {
+		return a
+	}
+	return b
+}
+
+// pickColorD2 selects the smallest color not used in v's known distance-2
+// neighborhood: neighbors (owned and ghost) and neighbors-of-owned-neighbors.
+func (s *d2State) pickColorD2(v int32) int32 {
+	d := s.d
+	f := s.picker
+	f.stamp++
+	mark := func(c int32) {
+		if c >= 0 && int(c) < len(f.mark) {
+			f.mark[c] = f.stamp
+		}
+	}
+	for _, u := range d.Neighbors(v) {
+		mark(s.colorOf(u))
+		if d.IsGhost(u) {
+			continue // the remote two-hop layer is invisible: speculate
+		}
+		for _, w := range d.Neighbors(u) {
+			if w != v {
+				mark(s.colorOf(w))
+			}
+		}
+	}
+	for c := range s.forbidden[v] {
+		mark(c)
+	}
+	for c := range f.mark {
+		if f.mark[c] != f.stamp {
+			return int32(c)
+		}
+	}
+	panic("coloring: distance-2 first fit ran out of colors")
+}
+
+// shipChunk sends freshly colored boundary vertices to neighbor ranks (the
+// NEW customized scheme).
+func (s *d2State) shipChunk(chunk []int32) {
+	d := s.d
+	var rec [colorRecSize]byte
+	for _, v := range chunk {
+		if !d.IsBoundary[v] {
+			continue
+		}
+		encodeColorRec(rec[:], d.GlobalOf(v), s.colors[v])
+		for _, rk := range s.vertexRankList[s.vertexRankOff[v]:s.vertexRankOff[v+1]] {
+			s.out.Add(int(rk), rec[:])
+		}
+	}
+	s.out.Flush()
+}
+
+// drain consumes pending traffic without blocking: color updates apply
+// immediately, recolor notices buffer for the conflict phase.
+func (s *d2State) drain() {
+	for {
+		m, ok := s.c.TryRecv()
+		if !ok {
+			return
+		}
+		switch m.Tag {
+		case colorTag:
+			s.applyColorRecords(m.Data)
+		case recolorTag:
+			for _, rec := range mpi.Records(m.Data, colorRecSize) {
+				gid, col := decodeColorRec(rec)
+				s.pendingNotices = append(s.pendingNotices, noticeRec{gid, col})
+			}
+		default:
+			panic(fmt.Sprintf("coloring: unexpected tag %d", m.Tag))
+		}
+	}
+}
+
+func (s *d2State) applyColorRecords(data []byte) {
+	s.c.ChargeOps(int64(len(data)/colorRecSize), 0)
+	for _, rec := range mpi.Records(data, colorRecSize) {
+		gid, col := decodeColorRec(rec)
+		if l, ok := s.d.LocalOf(gid); ok && s.d.IsGhost(l) {
+			s.ghostColor[int(l)-s.d.NLocal] = col
+		}
+	}
+}
+
+// buildVertexRanks mirrors colorState.buildVertexRanks for the d2 state.
+func (s *d2State) buildVertexRanks() {
+	cs := &colorState{d: s.d}
+	cs.buildVertexRanks()
+	s.vertexRankOff = cs.vertexRankOff
+	s.vertexRankList = cs.vertexRankList
+}
+
+// sortInt32 sorts ascending so the recolor order (and hence the final
+// coloring) is deterministic regardless of map iteration order.
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

@@ -1,0 +1,151 @@
+package coloring
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dgraph"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+)
+
+// runParallelD2 distributes g over part and runs the distributed distance-2
+// coloring on every rank.
+func runParallelD2(t *testing.T, g *graph.Graph, part *partition.Partition, opt ParallelOptions, mpiOpts ...mpi.Option) (Colors, []*ParallelResult) {
+	t.Helper()
+	shares, err := dgraph.Distribute(g, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*ParallelResult, part.P)
+	var mu sync.Mutex
+	mpiOpts = append(mpiOpts, mpi.WithDeadline(60*time.Second))
+	err = mpi.Run(part.P, func(c *mpi.Comm) error {
+		res, err := ParallelDistance2(c, shares[c.Rank()], opt)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+		return nil
+	}, mpiOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors, err := Gather(shares, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return colors, results
+}
+
+func TestParallelDistance2OnGrid(t *testing.T) {
+	g, err := gen.Grid2D(16, 16, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := GreedyDistance2Order(g, naturalOrder(g))
+	for _, p := range []int{1, 2, 4} {
+		pr, pc := partition.ProcessorGrid(p)
+		part, err := partition.Grid2D(16, 16, pr, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors, results := runParallelD2(t, g, part, ParallelOptions{Seed: 3})
+		if err := VerifyDistance2(g, colors); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		// Near-sequential color count (grid distance-2 chromatic number is 5;
+		// speculation may add a couple).
+		if colors.NumColors() > seq.NumColors()+3 {
+			t.Fatalf("p=%d: %d colors, sequential %d", p, colors.NumColors(), seq.NumColors())
+		}
+		if results[0].Rounds > 12 {
+			t.Fatalf("p=%d: %d rounds", p, results[0].Rounds)
+		}
+	}
+}
+
+func TestParallelDistance2Irregular(t *testing.T) {
+	g, err := gen.Circuit(20, 20, 0.45, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() (*partition.Partition, error){
+		func() (*partition.Partition, error) { return partition.BFS(g, 5, 1) },
+		func() (*partition.Partition, error) { return partition.Random(g, 6, 2) },
+	} {
+		part, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors, _ := runParallelD2(t, g, part, ParallelOptions{Seed: 11, SuperstepSize: 50})
+		if err := VerifyDistance2(g, colors); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestParallelDistance2UnderPerturbation(t *testing.T) {
+	g, err := gen.ErdosRenyi(120, 360, false, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Random(g, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		colors, _ := runParallelD2(t, g, part, ParallelOptions{Seed: 17, SuperstepSize: 20},
+			mpi.WithPerturbation(seed))
+		if err := VerifyDistance2(g, colors); err != nil {
+			t.Fatalf("perturbation %d: %v", seed, err)
+		}
+	}
+}
+
+func TestParallelDistance2SingleRankMatchesSequentialShape(t *testing.T) {
+	g, err := gen.Grid2D(10, 10, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _ := partition.Block1D(g, 1)
+	colors, results := runParallelD2(t, g, part, ParallelOptions{Seed: 1})
+	if err := VerifyDistance2(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Rounds != 1 || results[0].Conflicts != 0 {
+		t.Fatalf("single rank rounds=%d conflicts=%d", results[0].Rounds, results[0].Conflicts)
+	}
+}
+
+func TestParallelDistance2StarAcrossRanks(t *testing.T) {
+	// Star with leaves spread across ranks: all leaves are pairwise at
+	// distance 2 through the hub, so every leaf needs a distinct color even
+	// though no two leaves are adjacent — the pure middle-vertex case.
+	const leaves = 9
+	edges := make([]graph.Edge, leaves)
+	for i := range edges {
+		edges[i] = graph.Edge{U: 0, V: graph.Vertex(i + 1), W: 1}
+	}
+	g, err := graph.BuildUndirected(leaves+1, edges, graph.DedupeFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]int32, leaves+1)
+	for i := range parts {
+		parts[i] = int32(i % 3)
+	}
+	part := &partition.Partition{P: 3, Part: parts}
+	colors, _ := runParallelD2(t, g, part, ParallelOptions{Seed: 5})
+	if err := VerifyDistance2(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	if colors.NumColors() != leaves+1 {
+		t.Fatalf("star distance-2 colors = %d, want %d", colors.NumColors(), leaves+1)
+	}
+}

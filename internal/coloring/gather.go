@@ -1,0 +1,40 @@
+package coloring
+
+import (
+	"fmt"
+
+	"repro/internal/dgraph"
+)
+
+// Gather assembles per-rank parallel coloring results into one global Colors
+// array indexed by global vertex id.
+func Gather(shares []*dgraph.DistGraph, results []*ParallelResult) (Colors, error) {
+	if len(shares) == 0 || len(shares) != len(results) {
+		return nil, fmt.Errorf("coloring: gather over %d shares, %d results", len(shares), len(results))
+	}
+	globalN := shares[0].GlobalN
+	if globalN > 1<<31-1 {
+		return nil, fmt.Errorf("coloring: graph too large to gather (%d vertices)", globalN)
+	}
+	colors := make(Colors, globalN)
+	for i := range colors {
+		colors[i] = -1
+	}
+	for rank, d := range shares {
+		r := results[rank]
+		if r == nil {
+			return nil, fmt.Errorf("coloring: rank %d has no result", rank)
+		}
+		if len(r.Colors) != d.NLocal {
+			return nil, fmt.Errorf("coloring: rank %d result covers %d of %d vertices", rank, len(r.Colors), d.NLocal)
+		}
+		for v := 0; v < d.NLocal; v++ {
+			gid := d.GlobalOf(int32(v))
+			if colors[gid] != -1 {
+				return nil, fmt.Errorf("coloring: vertex %d colored by two ranks", gid)
+			}
+			colors[gid] = r.Colors[v]
+		}
+	}
+	return colors, nil
+}

@@ -1,0 +1,90 @@
+package coloring
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+func TestHybridColoringProper(t *testing.T) {
+	g, err := gen.Grid2D(40, 40, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Grid2D(40, 40, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{2, 4, 8} {
+		colors, results := runParallel(t, g, part, ParallelOptions{Seed: 3, Threads: threads})
+		if err := colors.Verify(g); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if colors.NumColors() > g.MaxDegree()+1 {
+			t.Fatalf("threads=%d: %d colors", threads, colors.NumColors())
+		}
+		if results[0].Rounds > 10 {
+			t.Fatalf("threads=%d: %d rounds", threads, results[0].Rounds)
+		}
+	}
+}
+
+func TestHybridMatchesPlainOnCircuit(t *testing.T) {
+	// Hybrid and plain modes both produce proper colorings with similar
+	// color counts on an irregular graph.
+	g, err := gen.Circuit(30, 30, 0.45, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.BFS(g, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := runParallel(t, g, part, ParallelOptions{Seed: 5})
+	hybrid, _ := runParallel(t, g, part, ParallelOptions{Seed: 5, Threads: 4})
+	if err := plain.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := hybrid.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if hybrid.NumColors() > plain.NumColors()+2 {
+		t.Fatalf("hybrid used %d colors, plain %d", hybrid.NumColors(), plain.NumColors())
+	}
+}
+
+func TestHybridSingleRankAllInterior(t *testing.T) {
+	// One rank: everything is interior; the threaded phase does all the work
+	// and the round loop terminates immediately.
+	g, err := gen.ErdosRenyi(300, 1500, false, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Block1D(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors, results := runParallel(t, g, part, ParallelOptions{Seed: 7, Threads: 8})
+	if err := colors.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", results[0].Rounds)
+	}
+}
+
+func TestHybridUnderPerturbationHeavyCut(t *testing.T) {
+	g, err := gen.ErdosRenyi(200, 1200, false, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Random(g, 6, 1) // nearly everything is boundary
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors, _ := runParallel(t, g, part, ParallelOptions{Seed: 9, Threads: 3, SuperstepSize: 20})
+	if err := colors.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}

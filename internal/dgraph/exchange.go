@@ -1,0 +1,95 @@
+package dgraph
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// ghostTag carries halo-exchange records.
+const ghostTag = 300
+
+// ghostRecSize: global id (8) + value (8).
+const ghostRecSize = 16
+
+// ExchangeGhostValues performs one halo exchange: every rank provides one
+// int64 per owned vertex (local index order) and receives the values of its
+// ghosts (ghost slot order). This is the generic building block applications
+// layer over the distributed graph — e.g. a Jacobi sweep exchanging iterate
+// values, or a load balancer exchanging per-vertex weights. The matching and
+// coloring protocols do not use it (they ship algorithm-specific records),
+// but they follow the same pattern: per-destination bundles to neighbor
+// ranks only, one barrier, drain.
+//
+// Every rank of the world must call ExchangeGhostValues collectively.
+func ExchangeGhostValues(c *mpi.Comm, d *DistGraph, owned []int64) ([]int64, error) {
+	if c.Size() != d.P || c.Rank() != d.Rank {
+		return nil, fmt.Errorf("dgraph: exchange on mismatched world/share")
+	}
+	if len(owned) != d.NLocal {
+		return nil, fmt.Errorf("dgraph: %d values for %d owned vertices", len(owned), d.NLocal)
+	}
+	out := mpi.NewBundler(c, ghostTag, ghostRecSize, 0)
+	// A boundary vertex is a ghost on every rank owning one of its
+	// neighbors; send its value to each such rank once.
+	var seen []int32
+	for v := 0; v < d.NLocal; v++ {
+		if !d.IsBoundary[v] {
+			continue
+		}
+		seen = seen[:0]
+		for _, u := range d.Neighbors(int32(v)) {
+			if !d.IsGhost(u) {
+				continue
+			}
+			rk := int32(d.OwnerOf(u))
+			dup := false
+			for _, s := range seen {
+				if s == rk {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen = append(seen, rk)
+			var rec [ghostRecSize]byte
+			binary.LittleEndian.PutUint64(rec[0:8], uint64(d.GlobalOf(int32(v))))
+			binary.LittleEndian.PutUint64(rec[8:16], uint64(owned[v]))
+			out.Add(int(rk), rec[:])
+		}
+	}
+	out.Flush()
+	c.Barrier()
+	ghosts := make([]int64, d.NGhost)
+	filled := 0
+	for {
+		m, ok := c.TryRecv()
+		if !ok {
+			break
+		}
+		if m.Tag != ghostTag {
+			return nil, fmt.Errorf("dgraph: unexpected tag %d during ghost exchange", m.Tag)
+		}
+		for _, rec := range mpi.Records(m.Data, ghostRecSize) {
+			gid := int64(binary.LittleEndian.Uint64(rec[0:8]))
+			val := int64(binary.LittleEndian.Uint64(rec[8:16]))
+			l, ok := d.LocalOf(gid)
+			if !ok || !d.IsGhost(l) {
+				return nil, fmt.Errorf("dgraph: ghost value for unknown vertex %d", gid)
+			}
+			ghosts[int(l)-d.NLocal] = val
+			filled++
+		}
+	}
+	if filled < d.NGhost {
+		return nil, fmt.Errorf("dgraph: ghost exchange filled %d of %d ghosts", filled, d.NGhost)
+	}
+	// A second barrier keeps successive exchanges from bleeding into each
+	// other (a fast rank must not start sending round k+1 records while a
+	// slow one is still draining round k).
+	c.Barrier()
+	return ghosts, nil
+}

@@ -1,0 +1,106 @@
+package dgraph
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+)
+
+func TestExchangeGhostValues(t *testing.T) {
+	g, err := gen.Grid2D(12, 12, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Grid2D(12, 12, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := Distribute(g, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(part.P, func(c *mpi.Comm) error {
+		d := shares[c.Rank()]
+		// Value of each vertex = 10 * its global id + owner rank.
+		owned := make([]int64, d.NLocal)
+		for v := range owned {
+			owned[v] = 10*d.GlobalOf(int32(v)) + int64(c.Rank())
+		}
+		ghosts, err := ExchangeGhostValues(c, d, owned)
+		if err != nil {
+			return err
+		}
+		for gi, got := range ghosts {
+			l := int32(d.NLocal + gi)
+			want := 10*d.GlobalOf(l) + int64(d.OwnerOf(l))
+			if got != want {
+				return fmt.Errorf("ghost %d value %d, want %d", d.GlobalOf(l), got, want)
+			}
+		}
+		return nil
+	}, mpi.WithDeadline(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeGhostValuesRepeated(t *testing.T) {
+	// Back-to-back exchanges (a Jacobi-style loop) must not interfere.
+	g, err := gen.Circuit(15, 15, 0.45, false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.BFS(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := Distribute(g, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(part.P, func(c *mpi.Comm) error {
+		d := shares[c.Rank()]
+		owned := make([]int64, d.NLocal)
+		for round := int64(0); round < 5; round++ {
+			for v := range owned {
+				owned[v] = d.GlobalOf(int32(v))*100 + round
+			}
+			ghosts, err := ExchangeGhostValues(c, d, owned)
+			if err != nil {
+				return err
+			}
+			for gi, got := range ghosts {
+				want := d.GlobalOf(int32(d.NLocal+gi))*100 + round
+				if got != want {
+					return fmt.Errorf("round %d ghost value %d, want %d", round, got, want)
+				}
+			}
+		}
+		return nil
+	}, mpi.WithDeadline(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeGhostValuesRejectsBadInput(t *testing.T) {
+	g, _ := gen.Grid2D(4, 4, false, 0)
+	part, _ := partition.Block1D(g, 2)
+	shares, err := Distribute(g, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(2, func(c *mpi.Comm) error {
+		if _, err := ExchangeGhostValues(c, shares[c.Rank()], []int64{1}); err == nil {
+			return fmt.Errorf("accepted short value vector")
+		}
+		return nil
+	}, mpi.WithDeadline(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/coloring"
+	"repro/internal/dgraph"
+	"repro/internal/matching"
+	"repro/internal/perfmodel"
+)
+
+// ScalingRow is one point of a scaling series (one processor count).
+type ScalingRow struct {
+	P        int
+	Input    string
+	Measured bool
+	HostWall float64 // seconds on this host; 0 for model-only points
+	Sim      float64 // asynchronous virtual-time simulation, seconds (measured points)
+	Model    float64 // α–β–γ BG/P model prediction, seconds
+	Ideal    float64 // ideal-scaling reference, seconds
+	Epochs   float64 // outer iterations / rounds
+	Extra    string  // algorithm-specific (weight / colors)
+}
+
+// gridShares builds every rank's share of a distributed grid.
+func gridShares(spec dgraph.GridSpec) ([]*dgraph.DistGraph, error) {
+	shares := make([]*dgraph.DistGraph, spec.P())
+	for r := range shares {
+		d, err := dgraph.BuildGrid(spec, r)
+		if err != nil {
+			return nil, err
+		}
+		shares[r] = d
+	}
+	return shares, nil
+}
+
+// squareFactor returns the processor-grid shape for p: square when p is a
+// perfect square, else the most square factorization.
+func squareFactor(p int) (pr, pc int) {
+	s := int(math.Round(math.Sqrt(float64(p))))
+	if s*s == p {
+		return s, s
+	}
+	pr = s
+	for pr > 1 && p%pr != 0 {
+		pr--
+	}
+	if pr < 1 {
+		pr = 1
+	}
+	return pr, p / pr
+}
+
+// gridModelProfiles synthesizes model rank profiles for a grid distribution
+// from structural arithmetic plus measured communication densities.
+func gridModelProfiles(spec dgraph.GridSpec, cs CommScalars, epochs int64) ([]perfmodel.Profile, error) {
+	out := make([]perfmodel.Profile, spec.P())
+	for r := range out {
+		nLocal, arcs, cross, nbrs, err := spec.RankStructure(r)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = perfmodel.Profile{
+			VertexOps: int64(nLocal),
+			EdgeOps:   arcs,
+			Msgs:      int64(cs.MsgsPerNeighborEpoch * float64(nbrs) * float64(epochs)),
+			Bytes:     int64(cs.BytesPerCrossArc * float64(cross)),
+			Epochs:    epochs,
+		}
+	}
+	return out, nil
+}
+
+// gridScaling runs one grid scaling study (weak or strong) for one algorithm.
+type gridScaling struct {
+	o    Options
+	weak bool
+}
+
+// specFor returns the grid spec for rank count p.
+func (gs *gridScaling) specFor(p int) (dgraph.GridSpec, error) {
+	pr, pc := squareFactor(p)
+	var k1, k2 int
+	if gs.weak {
+		k1, k2 = gs.o.WeakSubgrid*pr, gs.o.WeakSubgrid*pc
+	} else {
+		k1, k2 = gs.o.StrongGrid, gs.o.StrongGrid
+	}
+	spec := dgraph.GridSpec{K1: k1, K2: k2, PR: pr, PC: pc, Weighted: true, Seed: gs.o.Seed}
+	return spec, spec.Validate()
+}
+
+// run executes the study for matching (isMatching) or coloring.
+func (gs *gridScaling) run(isMatching bool) ([]ScalingRow, error) {
+	o := gs.o
+	var measuredProcs, modelProcs []int
+	if gs.weak {
+		measuredProcs, modelProcs = o.WeakProcs, o.WeakModelProcs
+	} else {
+		measuredProcs, modelProcs = o.StrongProcs, o.StrongModelProcs
+	}
+	// Measured runs.
+	type point struct {
+		p    int
+		m    *Measurement
+		cs   CommScalars
+		spec dgraph.GridSpec
+	}
+	var pts []point
+	for _, p := range measuredProcs {
+		spec, err := gs.specFor(p)
+		if err != nil {
+			return nil, err
+		}
+		shares, err := gridShares(spec)
+		if err != nil {
+			return nil, err
+		}
+		var m *Measurement
+		if isMatching {
+			m, err = MeasureMatching(shares, matching.ParallelOptions{})
+		} else {
+			m, err = MeasureColoring(shares, coloring.ParallelOptions{
+				Seed: o.Seed, SuperstepSize: o.Superstep,
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, point{p: p, m: m, cs: ExtractCommScalars(shares, m), spec: spec})
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("expt: no measured points")
+	}
+	// Both estimators use the Blue Gene/P coefficients directly: the
+	// analytic bulk-synchronous model here, and the virtual-time simulation
+	// already embedded in the measured runs.
+	machine := perfmodel.BlueGeneP()
+	// Traffic densities and epoch trend from the largest measured point.
+	last := pts[len(pts)-1]
+	epochPs := make([]int, len(pts))
+	epochYs := make([]float64, len(pts))
+	for i, pt := range pts {
+		epochPs[i] = pt.p
+		epochYs[i] = float64(pt.m.Epochs)
+	}
+	epochFit := FitLogTrend(epochPs, epochYs, 1)
+
+	allProcs := append(append([]int{}, measuredProcs...), modelProcs...)
+	sort.Ints(allProcs)
+	var rows []ScalingRow
+	var ideal0 float64
+	for _, p := range allProcs {
+		spec, err := gs.specFor(p)
+		if err != nil {
+			return nil, err
+		}
+		epochs := int64(math.Round(epochFit(p)))
+		var mp *point
+		for i := range pts {
+			if pts[i].p == p {
+				mp = &pts[i]
+			}
+		}
+		var profiles []perfmodel.Profile
+		cs := last.cs
+		if mp != nil {
+			profiles = mp.m.Ranks // real counters for measured points
+			epochs = mp.m.Epochs
+		} else {
+			profiles, err = gridModelProfiles(spec, cs, epochs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		modelT := machine.RunTime(profiles)
+		row := ScalingRow{
+			P:        p,
+			Input:    fmt.Sprintf("%dx%d", spec.K1, spec.K2),
+			Measured: mp != nil,
+			Model:    modelT,
+			Epochs:   float64(epochs),
+		}
+		if mp != nil {
+			row.HostWall = mp.m.WallHost.Seconds()
+			row.Sim = mp.m.VirtualSeconds
+			if isMatching {
+				row.Extra = fmt.Sprintf("W=%.1f", mp.m.MatchWeight)
+			} else {
+				row.Extra = fmt.Sprintf("colors=%d", mp.m.NumColors)
+			}
+		}
+		if ideal0 == 0 {
+			ideal0 = modelT
+		}
+		if gs.weak {
+			row.Ideal = ideal0
+		} else {
+			row.Ideal = ideal0 * float64(allProcs[0]) / float64(p)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// renderScaling prints a scaling series as a table.
+func renderScaling(o Options, title string, rows []ScalingRow, comments ...string) error {
+	t := NewTable(title, "Procs", "Input", "Source", "Host wall", "Sim async", "Model (BG/P)", "Ideal", "Epochs", "Notes")
+	for _, r := range rows {
+		src := "model"
+		host, sim := "-", "-"
+		if r.Measured {
+			src = "measured"
+			host = formatSeconds(r.HostWall)
+			sim = formatSeconds(r.Sim)
+		}
+		t.AddRow(r.P, r.Input, src, host, sim, formatSeconds(r.Model), formatSeconds(r.Ideal),
+			fmt.Sprintf("%.0f", r.Epochs), r.Extra)
+	}
+	for _, c := range comments {
+		t.AddComment("%s", c)
+	}
+	return o.emit(t)
+}
+
+// Fig51 reproduces the weak-scaling study on five-point grids (paper Fig.
+// 5.1): per-rank subgrid fixed, rank count grows, ideal time is flat. It
+// returns the matching (top) and coloring (bottom) series.
+func Fig51(o Options) (matchRows, colorRows []ScalingRow, err error) {
+	o = o.withDefaults()
+	if err := checkPositive("WeakSubgrid", o.WeakSubgrid); err != nil {
+		return nil, nil, err
+	}
+	gm := &gridScaling{o: o, weak: true}
+	matchRows, err = gm.run(true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("expt: fig 5.1 matching: %w", err)
+	}
+	if err := renderScaling(o, "Fig 5.1 (top) — weak scaling, matching, five-point grids", matchRows,
+		"paper: 2.5e-2..6.5e-2 s, near-flat from 1,024 to 16,384 procs"); err != nil {
+		return nil, nil, err
+	}
+	gc := &gridScaling{o: o, weak: true}
+	colorRows, err = gc.run(false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("expt: fig 5.1 coloring: %w", err)
+	}
+	if err := renderScaling(o, "Fig 5.1 (bottom) — weak scaling, coloring, five-point grids", colorRows,
+		"paper: ~1e-4..1e-2 s, near-flat; coloring is cheaper than matching"); err != nil {
+		return nil, nil, err
+	}
+	return matchRows, colorRows, nil
+}
+
+// Fig52 reproduces the strong-scaling study on a fixed five-point grid
+// (paper Fig. 5.2: 32,000 x 32,000 on 512–16,384 procs, log–log near-ideal).
+func Fig52(o Options) (matchRows, colorRows []ScalingRow, err error) {
+	o = o.withDefaults()
+	if err := checkPositive("StrongGrid", o.StrongGrid); err != nil {
+		return nil, nil, err
+	}
+	gm := &gridScaling{o: o, weak: false}
+	matchRows, err = gm.run(true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("expt: fig 5.2 matching: %w", err)
+	}
+	if err := renderScaling(o, "Fig 5.2 (top) — strong scaling, matching, fixed grid", matchRows,
+		"paper: near-ideal log-log slope from 512 to 16,384 procs",
+		"matching weight must be identical at every measured P (Section 5.2)"); err != nil {
+		return nil, nil, err
+	}
+	// The paper's invariance check: identical weight at every p.
+	var w0 string
+	for _, r := range matchRows {
+		if !r.Measured {
+			continue
+		}
+		if w0 == "" {
+			w0 = r.Extra
+		} else if r.Extra != w0 {
+			return nil, nil, fmt.Errorf("expt: matching weight varies with P: %q vs %q", w0, r.Extra)
+		}
+	}
+	gc := &gridScaling{o: o, weak: false}
+	colorRows, err = gc.run(false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("expt: fig 5.2 coloring: %w", err)
+	}
+	if err := renderScaling(o, "Fig 5.2 (bottom) — strong scaling, coloring, fixed grid", colorRows,
+		"paper: near-ideal slope; absolute times below matching"); err != nil {
+		return nil, nil, err
+	}
+	return matchRows, colorRows, nil
+}

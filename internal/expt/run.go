@@ -1,0 +1,237 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/dgraph"
+	"repro/internal/matching"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+)
+
+// Measurement is the outcome of one distributed run at one rank count.
+type Measurement struct {
+	P        int
+	WallHost time.Duration // host wall clock (1-core laptop: reference only)
+	Ranks    []perfmodel.Profile
+	Epochs   int64 // outer iterations (matching) or rounds (coloring), max over ranks
+	// VirtualSeconds is the LogP-style asynchronous simulation makespan
+	// under Blue Gene/P coefficients (see mpi.VirtualTime): the virtual
+	// clocks honor compute/communication overlap, unlike the
+	// bulk-synchronous analytic model.
+	VirtualSeconds float64
+
+	// Algorithm-specific outputs.
+	MatchWeight float64
+	NumColors   int
+	Conflicts   int64
+}
+
+// MaxRank returns the heaviest rank profile.
+func (m *Measurement) MaxRank() perfmodel.Profile {
+	var out perfmodel.Profile
+	var worst float64
+	bg := perfmodel.BlueGeneP()
+	for _, p := range m.Ranks {
+		if t := bg.Time(p); t >= worst {
+			worst = t
+			out = p
+		}
+	}
+	return out
+}
+
+// structuralProfile seeds a rank profile with the share's structure; traffic
+// counters are filled in after the run.
+func structuralProfile(d *dgraph.DistGraph) perfmodel.Profile {
+	return perfmodel.Profile{
+		VertexOps: int64(d.NLocal),
+		EdgeOps:   d.Xadj[d.NLocal],
+	}
+}
+
+// vtimeOf converts machine-model coefficients into runtime virtual-time
+// coefficients.
+func vtimeOf(m perfmodel.Machine) mpi.VirtualTime {
+	return mpi.VirtualTime{
+		Alpha:       m.Alpha,
+		Beta:        m.Beta,
+		GammaVertex: m.GammaVertex,
+		GammaEdge:   m.GammaEdge,
+		Sync:        m.Sync,
+	}
+}
+
+// MeasureMatching runs the distributed matching over pre-built shares and
+// collects profiles. shares[r] must be rank r's view of one common graph.
+func MeasureMatching(shares []*dgraph.DistGraph, opt matching.ParallelOptions) (*Measurement, error) {
+	p := len(shares)
+	w, err := mpi.NewWorld(p, mpi.WithDeadline(10*time.Minute),
+		mpi.WithVirtualTime(vtimeOf(perfmodel.BlueGeneP())))
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*matching.ParallelResult, p)
+	var mu sync.Mutex
+	start := time.Now()
+	err = w.Run(func(c *mpi.Comm) error {
+		res, err := matching.Parallel(c, shares[c.Rank()], opt)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Measurement{P: p, WallHost: time.Since(start), Ranks: make([]perfmodel.Profile, p)}
+	m.VirtualSeconds = w.MaxVirtualTime()
+	for r := 0; r < p; r++ {
+		prof := structuralProfile(shares[r])
+		st := w.RankStats(r)
+		prof.Msgs = st.SentMsgs
+		prof.Bytes = st.SentBytes
+		prof.Epochs = results[r].OuterIterations
+		m.Ranks[r] = prof
+		if prof.Epochs > m.Epochs {
+			m.Epochs = prof.Epochs
+		}
+		m.MatchWeight += results[r].LocalWeight
+	}
+	return m, nil
+}
+
+// MeasureColoring runs the distributed coloring over pre-built shares.
+func MeasureColoring(shares []*dgraph.DistGraph, opt coloring.ParallelOptions) (*Measurement, error) {
+	p := len(shares)
+	w, err := mpi.NewWorld(p, mpi.WithDeadline(10*time.Minute),
+		mpi.WithVirtualTime(vtimeOf(perfmodel.BlueGeneP())))
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*coloring.ParallelResult, p)
+	var mu sync.Mutex
+	start := time.Now()
+	err = w.Run(func(c *mpi.Comm) error {
+		res, err := coloring.Parallel(c, shares[c.Rank()], opt)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Measurement{P: p, WallHost: time.Since(start), Ranks: make([]perfmodel.Profile, p)}
+	m.VirtualSeconds = w.MaxVirtualTime()
+	for r := 0; r < p; r++ {
+		prof := structuralProfile(shares[r])
+		st := w.RankStats(r)
+		prof.Msgs = st.SentMsgs
+		prof.Bytes = st.SentBytes
+		prof.Epochs = int64(results[r].Rounds)
+		m.Ranks[r] = prof
+		if prof.Epochs > m.Epochs {
+			m.Epochs = prof.Epochs
+		}
+		m.Conflicts += results[r].Conflicts
+	}
+	m.NumColors = results[0].NumColors
+	return m, nil
+}
+
+// CommScalars are the per-structure traffic densities extracted from a
+// measured run, used to synthesize profiles at rank counts the host cannot
+// run. See EXPERIMENTS.md ("model methodology").
+type CommScalars struct {
+	// BytesPerCrossArc is sent bytes per cross arc.
+	BytesPerCrossArc float64
+	// MsgsPerNeighborEpoch is sent messages per (neighbor rank × epoch).
+	MsgsPerNeighborEpoch float64
+	// Epochs is the measured epoch count.
+	Epochs int64
+}
+
+// ExtractCommScalars derives CommScalars from a measured run over shares.
+func ExtractCommScalars(shares []*dgraph.DistGraph, m *Measurement) CommScalars {
+	var bytes, msgs, cross, nbrEpochs float64
+	for r, d := range shares {
+		bytes += float64(m.Ranks[r].Bytes)
+		msgs += float64(m.Ranks[r].Msgs)
+		cross += float64(d.CrossArcs)
+		nbrEpochs += float64(len(d.NeighborRanks)) * float64(m.Epochs)
+	}
+	cs := CommScalars{Epochs: m.Epochs}
+	if cross > 0 {
+		cs.BytesPerCrossArc = bytes / cross
+	}
+	if nbrEpochs > 0 {
+		cs.MsgsPerNeighborEpoch = msgs / nbrEpochs
+	}
+	return cs
+}
+
+// SynthesizeProfiles builds model-input rank profiles for a structure-only
+// distribution (no algorithm run), applying measured traffic densities.
+func SynthesizeProfiles(shares []*dgraph.DistGraph, cs CommScalars, epochs int64) []perfmodel.Profile {
+	out := make([]perfmodel.Profile, len(shares))
+	for r, d := range shares {
+		p := structuralProfile(d)
+		p.Bytes = int64(cs.BytesPerCrossArc * float64(d.CrossArcs))
+		p.Msgs = int64(cs.MsgsPerNeighborEpoch * float64(len(d.NeighborRanks)) * float64(epochs))
+		p.Epochs = epochs
+		out[r] = p
+	}
+	return out
+}
+
+// FitLogTrend fits y = a + b·ln(p) over measured points by least squares and
+// returns an evaluator clamped to be at least minY. It extrapolates slowly
+// growing quantities such as matching outer-iteration counts.
+func FitLogTrend(ps []int, ys []float64, minY float64) func(p int) float64 {
+	n := float64(len(ps))
+	if n == 0 {
+		return func(int) float64 { return minY }
+	}
+	var sx, sy, sxx, sxy float64
+	for i, p := range ps {
+		x := math.Log(float64(p))
+		sx += x
+		sy += ys[i]
+		sxx += x * x
+		sxy += x * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	var a, b float64
+	if denom == 0 {
+		a, b = sy/n, 0
+	} else {
+		b = (n*sxy - sx*sy) / denom
+		a = (sy - b*sx) / n
+	}
+	return func(p int) float64 {
+		y := a + b*math.Log(float64(p))
+		if y < minY {
+			return minY
+		}
+		return y
+	}
+}
+
+// checkPositive validates harness parameters.
+func checkPositive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("expt: %s must be positive, got %d", name, v)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// SweepRow is one point of the Table 1.1 weight-distribution sweep.
+type SweepRow struct {
+	Instance string
+	Scheme   string
+	Quality  float64 // percent of optimum
+}
+
+// Table11WeightSweep extends Table 1.1 by sweeping the edge-weight
+// distribution on fixed topologies. It tests the hypothesis EXPERIMENTS.md
+// uses to explain the quality gap against the paper: the UF matrices' values
+// span orders of magnitude, and greedy/locally-dominant choices agree with
+// the optimum more often the wider the weight dynamic range. The sweep runs
+// the same half-approximation against the exact optimum under narrow-uniform,
+// tied-integer, and log-uniform (≈400× dynamic range) weights.
+func Table11WeightSweep(o Options) ([]SweepRow, error) {
+	o = o.withDefaults()
+	side := 36
+	nb := 1200
+	if o.Quick {
+		side, nb = 14, 200
+	}
+	type inst struct {
+		name string
+		base *graph.Graph
+	}
+	mesh, err := gen.Grid2D(side, side, false, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	circuit, err := gen.Circuit(side, side, 0.45, false, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	er, err := gen.ErdosRenyi(nb, int64(nb)*3, false, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	instances := []inst{
+		{"mesh-5pt", mesh},
+		{"circuit", circuit},
+		{"erdos-renyi", er},
+	}
+	schemes := []struct {
+		name   string
+		scheme gen.WeightScheme
+	}{
+		{"uniform (1,2)", gen.WeightUniform},
+		{"integer [1,1000] (ties)", gen.WeightInteger},
+		{"log-uniform [1,403)", gen.WeightExponential},
+	}
+	t := NewTable("Table 1.1 sweep — matching quality vs weight dynamic range",
+		"Instance", "Weights", "ApproxW", "OptW", "Quality")
+	var rows []SweepRow
+	for _, in := range instances {
+		for _, sc := range schemes {
+			g, err := gen.Reweight(in.base, sc.scheme, o.Seed+7)
+			if err != nil {
+				return nil, err
+			}
+			b, err := gen.BipartiteOf(g)
+			if err != nil {
+				return nil, err
+			}
+			approx := matching.LocallyDominant(b.Graph)
+			exact, err := matching.ExactBipartite(b)
+			if err != nil {
+				return nil, err
+			}
+			aw, ew := approx.Weight(b.Graph), exact.Weight(b.Graph)
+			q := 100.0
+			if ew > 0 {
+				q = 100 * aw / ew
+			}
+			if aw < ew/2-1e-9 {
+				return nil, fmt.Errorf("expt: sweep %s/%s violates the 1/2 bound", in.name, sc.name)
+			}
+			rows = append(rows, SweepRow{Instance: in.name, Scheme: sc.name, Quality: q})
+			t.AddRow(in.name, sc.name, fmt.Sprintf("%.1f", aw), fmt.Sprintf("%.1f", ew),
+				fmt.Sprintf("%.2f%%", q))
+		}
+	}
+	t.AddComment("hypothesis check: wider dynamic range -> quality approaches the paper's 99%%+")
+	if err := o.emit(t); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Circuit generates a circuit-simulation-like graph standing in for the UF
+// matrix G3_circuit used in Figures 5.3 and 5.4. The published properties we
+// reproduce are: very low, tightly bounded degree (paper: min 2, max 6),
+// mesh-like local structure (circuit nets follow placed geometry), and a
+// sprinkle of longer-range connections (supply rails, clock spines) that give
+// partitioners a nonzero cut to fight over.
+//
+// Construction: an r × c five-point grid (degrees 2–4) plus extra "tap"
+// edges. Each tap joins a random vertex to another vertex at a random offset
+// within a local window, and is only inserted while both endpoints have
+// degree < 6, preserving the degree envelope. tapFraction is the expected
+// number of taps per vertex (G3_circuit's average degree ≈ 3.8 corresponds to
+// tapFraction ≈ 0.45 on top of the grid's ≈ 2·(1-1/k) average); a small share
+// of taps is long-range.
+func Circuit(r, c int, tapFraction float64, weighted bool, seed uint64) (*graph.Graph, error) {
+	if r < 2 || c < 2 {
+		return nil, fmt.Errorf("gen: circuit grid %dx%d too small", r, c)
+	}
+	if tapFraction < 0 || tapFraction > 2 {
+		return nil, fmt.Errorf("gen: tap fraction %g out of [0,2]", tapFraction)
+	}
+	n := int64(r) * int64(c)
+	if n > 1<<31-1 {
+		return nil, fmt.Errorf("gen: circuit %dx%d exceeds 32-bit vertex ids", r, c)
+	}
+	id := func(row, col int) int64 { return int64(row)*int64(c) + int64(col) }
+	deg := make([]uint8, n)
+	edges := make([]graph.Edge, 0, n*5/2)
+	add := func(u, v int64) {
+		w := 1.0
+		if weighted {
+			w = EdgeWeight(seed, u, v)
+		}
+		edges = append(edges, graph.Edge{U: graph.Vertex(u), V: graph.Vertex(v), W: w})
+		deg[u]++
+		deg[v]++
+	}
+	for row := 0; row < r; row++ {
+		for col := 0; col < c; col++ {
+			u := id(row, col)
+			if col+1 < c {
+				add(u, id(row, col+1))
+			}
+			if row+1 < r {
+				add(u, id(row+1, col))
+			}
+		}
+	}
+	rng := NewRNG(seed ^ 0xc1c1c1c1)
+	taps := int64(tapFraction * float64(n))
+	const window = 16 // local tap reach, in grid units
+	for t := int64(0); t < taps; t++ {
+		row := rng.Intn(r)
+		col := rng.Intn(c)
+		u := id(row, col)
+		if deg[u] >= 6 {
+			continue
+		}
+		var vRow, vCol int
+		if rng.Intn(20) == 0 {
+			// Long-range tap: a rail/spine connection anywhere on the die.
+			vRow, vCol = rng.Intn(r), rng.Intn(c)
+		} else {
+			vRow = row + rng.Intn(2*window+1) - window
+			vCol = col + rng.Intn(2*window+1) - window
+			if vRow < 0 {
+				vRow = 0
+			}
+			if vRow >= r {
+				vRow = r - 1
+			}
+			if vCol < 0 {
+				vCol = 0
+			}
+			if vCol >= c {
+				vCol = c - 1
+			}
+		}
+		v := id(vRow, vCol)
+		if v == u || deg[v] >= 6 {
+			continue
+		}
+		add(u, v)
+	}
+	// Duplicated taps merge in BuildUndirected; the degree envelope only
+	// shrinks from merging, so max degree 6 still holds.
+	return graph.BuildUndirected(int(n), edges, graph.DedupeFirst)
+}
+
+// CircuitBipartite generates the bipartite (matrix) representation of a
+// circuit-like graph, as used by the Fig. 5.3 matching experiment, where the
+// paper matches on "a bipartite graph of a circuit simulation application"
+// with 3.2 M vertices and 7.7 M edges (rows+columns of the matrix and its
+// nonzeros, including a full diagonal).
+func CircuitBipartite(r, c int, tapFraction float64, seed uint64) (*graph.Bipartite, error) {
+	g, err := Circuit(r, c, tapFraction, true, seed)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	entries := make([]graph.Entry, 0, int64(2)*g.NumEdges()+int64(n))
+	rng := NewRNG(seed ^ 0xb1b1b1b1)
+	for i := 0; i < n; i++ {
+		// Diagonal values share the off-diagonal weight scale. (A strongly
+		// dominant diagonal would let every vertex match its own diagonal
+		// partner during initialization, collapsing the parallel matching's
+		// communication phase to nothing — the paper's experiment clearly
+		// exercises cross-edge negotiation, so the stand-in must too.)
+		entries = append(entries, graph.Entry{Row: i, Col: i, W: 1 + rng.Float64()})
+	}
+	g.ForEachEdge(func(u, v graph.Vertex, w float64) {
+		entries = append(entries, graph.Entry{Row: int(u), Col: int(v), W: w})
+		entries = append(entries, graph.Entry{Row: int(v), Col: int(u), W: w})
+	})
+	return graph.BuildBipartite(n, n, entries, graph.DedupeMax)
+}

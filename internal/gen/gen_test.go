@@ -1,0 +1,354 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Next() == NewRNG(2).Next() {
+		t.Fatal("different seeds collided on first draw")
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	parent := NewRNG(7)
+	s1 := parent.Split(1)
+	s2 := parent.Split(2)
+	s1again := parent.Split(1)
+	if s1.Next() != s1again.Next() {
+		t.Fatal("Split not reproducible")
+	}
+	if s1.Next() == s2.Next() {
+		t.Fatal("distinct streams collided")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	p := NewRNG(5).Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestEdgeWeightSymmetricAndPositive(t *testing.T) {
+	f := func(seed uint64, u, v int64) bool {
+		a := EdgeWeight(seed, u, v)
+		b := EdgeWeight(seed, v, u)
+		return a == b && a >= 1 && a < 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid2DStructure(t *testing.T) {
+	g, err := Grid2D(4, 5, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 20 {
+		t.Fatalf("n = %d, want 20", g.NumVertices())
+	}
+	// m = k1*(k2-1) + (k1-1)*k2 = 4*4 + 3*5 = 31.
+	if g.NumEdges() != 31 {
+		t.Fatalf("m = %d, want 31", g.NumEdges())
+	}
+	// Corners have degree 2, edge-interior 3, interior 4.
+	if d := g.Degree(0); d != 2 {
+		t.Errorf("corner degree = %d, want 2", d)
+	}
+	if d := g.Degree(6); d != 4 { // (1,1)
+		t.Errorf("interior degree = %d, want 4", d)
+	}
+	if !graph.IsConnected(g) {
+		t.Error("grid not connected")
+	}
+}
+
+func TestGrid2DDegenerate(t *testing.T) {
+	g, err := Grid2D(1, 7, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 6 || g.MaxDegree() != 2 {
+		t.Fatalf("path graph wrong: m=%d maxdeg=%d", g.NumEdges(), g.MaxDegree())
+	}
+	if _, err := Grid2D(0, 5, false, 0); err == nil {
+		t.Fatal("accepted zero dimension")
+	}
+}
+
+func TestGrid2DWeightsDeterministic(t *testing.T) {
+	a, err := Grid2D(6, 6, true, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Grid2D(6, 6, true, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+	c, err := Grid2D(6, 6, true, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.W {
+		if a.W[i] != c.W[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+func TestGrid2D9Point(t *testing.T) {
+	g, err := Grid2D9Point(3, 3, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9-point 3x3: 5-point has 12 edges, plus 2*(2*2)=8 diagonals = 20.
+	if g.NumEdges() != 20 {
+		t.Fatalf("m = %d, want 20", g.NumEdges())
+	}
+	if d := g.Degree(4); d != 8 { // center touches everything
+		t.Fatalf("center degree = %d, want 8", d)
+	}
+}
+
+func TestGrid3DStructure(t *testing.T) {
+	g, err := Grid3D(3, 4, 5, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 60 {
+		t.Fatalf("n = %d, want 60", g.NumVertices())
+	}
+	// m = (k1-1)k2k3 + k1(k2-1)k3 + k1k2(k3-1) = 2*20 + 3*3*5 + 12*4 = 40+45+48 = 133.
+	if g.NumEdges() != 133 {
+		t.Fatalf("m = %d, want 133", g.NumEdges())
+	}
+	if g.MaxDegree() != 6 {
+		t.Fatalf("max degree = %d, want 6", g.MaxDegree())
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(200, 1000, true, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 1000 {
+		t.Fatalf("m = %d, want in (0,1000]", g.NumEdges())
+	}
+	if _, err := ErdosRenyi(0, 10, false, 0); err == nil {
+		t.Fatal("accepted n=0")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g, err := RMAT(10, 8, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n = %d, want 1024", g.NumVertices())
+	}
+	// Power-law-ish: max degree should far exceed average.
+	avg := float64(g.NumArcs()) / float64(g.NumVertices())
+	if float64(g.MaxDegree()) < 3*avg {
+		t.Errorf("max degree %d not skewed vs avg %.1f", g.MaxDegree(), avg)
+	}
+	if _, err := RMAT(0, 8, false, 0); err == nil {
+		t.Fatal("accepted scale 0")
+	}
+	if _, err := RMAT(5, 0, false, 0); err == nil {
+		t.Fatal("accepted edge factor 0")
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	g, err := Geometric(500, 0.08, true, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("geometric graph has no edges")
+	}
+	// Weighted by 2-d: all weights in (1, 2).
+	for _, w := range g.W {
+		if w <= 1 || w >= 2 {
+			t.Fatalf("weight %g out of (1,2)", w)
+		}
+	}
+	if _, err := Geometric(10, 0, false, 0); err == nil {
+		t.Fatal("accepted radius 0")
+	}
+}
+
+func TestRandomBipartite(t *testing.T) {
+	b, err := RandomBipartite(100, 100, 5, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ValidateBipartite(); err != nil {
+		t.Fatal(err)
+	}
+	// Every row vertex must have at least one edge (the diagonal-ish entry).
+	for r := 0; r < b.NRows; r++ {
+		if b.Degree(b.RowID(r)) == 0 {
+			t.Fatalf("row %d has no entries", r)
+		}
+	}
+	if _, err := RandomBipartite(0, 5, 1, 0); err == nil {
+		t.Fatal("accepted nrows=0")
+	}
+}
+
+func TestCircuitDegreeEnvelope(t *testing.T) {
+	g, err := Circuit(60, 60, 0.45, true, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports min degree 2, max degree 6 for the circuit graph.
+	if g.MaxDegree() > 6 {
+		t.Fatalf("max degree = %d, want <= 6", g.MaxDegree())
+	}
+	if g.MinDegree() < 2 {
+		t.Fatalf("min degree = %d, want >= 2", g.MinDegree())
+	}
+	avg := float64(g.NumArcs()) / float64(g.NumVertices())
+	if avg < 3.0 || avg > 5.0 {
+		t.Errorf("average degree %.2f outside circuit-like range [3,5]", avg)
+	}
+	if !graph.IsConnected(g) {
+		t.Error("circuit graph not connected")
+	}
+}
+
+func TestCircuitBipartite(t *testing.T) {
+	b, err := CircuitBipartite(30, 30, 0.45, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ValidateBipartite(); err != nil {
+		t.Fatal(err)
+	}
+	if b.NRows != 900 || b.NCols != 900 {
+		t.Fatalf("dimensions %dx%d, want 900x900", b.NRows, b.NCols)
+	}
+	// Full diagonal present.
+	for i := 0; i < b.NRows; i++ {
+		if !b.HasEdge(b.RowID(i), b.ColID(i)) {
+			t.Fatalf("missing diagonal entry %d", i)
+		}
+	}
+}
+
+func TestBipartiteOf(t *testing.T) {
+	g, err := Grid2D(3, 3, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BipartiteOf(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ValidateBipartite(); err != nil {
+		t.Fatal(err)
+	}
+	// Each undirected edge produces two matrix entries.
+	if b.NumEdges() != 2*g.NumEdges() {
+		t.Fatalf("bipartite edges = %d, want %d", b.NumEdges(), 2*g.NumEdges())
+	}
+}
+
+func TestReweightSchemes(t *testing.T) {
+	g, err := Grid2D(5, 5, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []WeightScheme{WeightUniform, WeightInteger, WeightDegree, WeightUnit, WeightExponential} {
+		w, err := Reweight(g, scheme, 77)
+		if err != nil {
+			t.Fatalf("scheme %v: %v", scheme, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("scheme %v produced invalid graph: %v", scheme, err)
+		}
+	}
+	unit, _ := Reweight(g, WeightUnit, 0)
+	for _, w := range unit.W {
+		if w != 1 {
+			t.Fatal("WeightUnit produced non-unit weight")
+		}
+	}
+	if _, err := Reweight(g, WeightScheme(99), 0); err == nil {
+		t.Fatal("accepted unknown scheme")
+	}
+}
+
+// Property: grids of arbitrary small shape are always valid and connected.
+func TestQuickGridsValid(t *testing.T) {
+	f := func(a, b uint8) bool {
+		k1 := int(a)%9 + 1
+		k2 := int(b)%9 + 1
+		g, err := Grid2D(k1, k2, true, uint64(a)*256+uint64(b))
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil && graph.IsConnected(g) &&
+			g.NumVertices() == k1*k2 &&
+			g.NumEdges() == int64(k1*(k2-1)+(k1-1)*k2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Grid2D generates the paper's model problem: a k1 × k2 five-point grid graph
+// in which the node at (row, col) connects to its east, west, north and south
+// neighbors (except at the boundary). Vertex (r, c) has id r*k2 + c.
+//
+// Weighted selects the paper's random edge weights (deterministic in seed);
+// with Weighted false the graph is unweighted.
+func Grid2D(k1, k2 int, weighted bool, seed uint64) (*graph.Graph, error) {
+	return grid2D(k1, k2, weighted, false, seed)
+}
+
+// Grid2D9Point generates a nine-point grid: the five-point stencil plus the
+// four diagonal neighbors. It is used by ablation studies that need a denser
+// regular graph with chromatic number > 2.
+func Grid2D9Point(k1, k2 int, weighted bool, seed uint64) (*graph.Graph, error) {
+	return grid2D(k1, k2, weighted, true, seed)
+}
+
+func grid2D(k1, k2 int, weighted, diagonals bool, seed uint64) (*graph.Graph, error) {
+	if k1 <= 0 || k2 <= 0 {
+		return nil, fmt.Errorf("gen: non-positive grid dimensions %dx%d", k1, k2)
+	}
+	n := int64(k1) * int64(k2)
+	if n > 1<<31-1 {
+		return nil, fmt.Errorf("gen: grid %dx%d exceeds 32-bit vertex ids", k1, k2)
+	}
+	id := func(r, c int) int64 { return int64(r)*int64(k2) + int64(c) }
+	perVertex := int64(2)
+	if diagonals {
+		perVertex = 4
+	}
+	edges := make([]graph.Edge, 0, n*perVertex)
+	add := func(u, v int64) {
+		w := 1.0
+		if weighted {
+			w = EdgeWeight(seed, u, v)
+		}
+		edges = append(edges, graph.Edge{U: graph.Vertex(u), V: graph.Vertex(v), W: w})
+	}
+	for r := 0; r < k1; r++ {
+		for c := 0; c < k2; c++ {
+			u := id(r, c)
+			if c+1 < k2 {
+				add(u, id(r, c+1))
+			}
+			if r+1 < k1 {
+				add(u, id(r+1, c))
+			}
+			if diagonals {
+				if r+1 < k1 && c+1 < k2 {
+					add(u, id(r+1, c+1))
+				}
+				if r+1 < k1 && c > 0 {
+					add(u, id(r+1, c-1))
+				}
+			}
+		}
+	}
+	return graph.BuildUndirected(int(n), edges, graph.DedupeFirst)
+}
+
+// Grid3D generates a k1 × k2 × k3 seven-point grid graph (east/west, north/
+// south, up/down neighbors), the 3-D analogue of the paper's model problem.
+func Grid3D(k1, k2, k3 int, weighted bool, seed uint64) (*graph.Graph, error) {
+	if k1 <= 0 || k2 <= 0 || k3 <= 0 {
+		return nil, fmt.Errorf("gen: non-positive grid dimensions %dx%dx%d", k1, k2, k3)
+	}
+	n := int64(k1) * int64(k2) * int64(k3)
+	if n > 1<<31-1 {
+		return nil, fmt.Errorf("gen: grid %dx%dx%d exceeds 32-bit vertex ids", k1, k2, k3)
+	}
+	id := func(x, y, z int) int64 {
+		return (int64(x)*int64(k2)+int64(y))*int64(k3) + int64(z)
+	}
+	edges := make([]graph.Edge, 0, 3*n)
+	add := func(u, v int64) {
+		w := 1.0
+		if weighted {
+			w = EdgeWeight(seed, u, v)
+		}
+		edges = append(edges, graph.Edge{U: graph.Vertex(u), V: graph.Vertex(v), W: w})
+	}
+	for x := 0; x < k1; x++ {
+		for y := 0; y < k2; y++ {
+			for z := 0; z < k3; z++ {
+				u := id(x, y, z)
+				if z+1 < k3 {
+					add(u, id(x, y, z+1))
+				}
+				if y+1 < k2 {
+					add(u, id(x, y+1, z))
+				}
+				if x+1 < k1 {
+					add(u, id(x+1, y, z))
+				}
+			}
+		}
+	}
+	return graph.BuildUndirected(int(n), edges, graph.DedupeFirst)
+}

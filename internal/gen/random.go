@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// ErdosRenyi generates a G(n, m)-style random graph: m undirected edges drawn
+// uniformly with replacement and then deduplicated, so the result has at most
+// m distinct edges. Weights are uniform in (1, 2) when weighted.
+func ErdosRenyi(n int, m int64, weighted bool, seed uint64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: non-positive vertex count %d", n)
+	}
+	rng := NewRNG(seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		w := 1.0
+		if weighted {
+			w = EdgeWeight(seed, int64(u), int64(v))
+		}
+		edges = append(edges, graph.Edge{U: graph.Vertex(u), V: graph.Vertex(v), W: w})
+	}
+	return graph.BuildUndirected(n, edges, graph.DedupeFirst)
+}
+
+// RMAT generates a recursive-matrix (R-MAT) power-law graph with 2^scale
+// vertices and roughly edgeFactor * 2^scale undirected edges, using the
+// standard (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) quadrant probabilities.
+// R-MAT graphs have highly skewed degrees — the stress case for the coloring
+// algorithm's first-fit strategy and for load balance in matching.
+func RMAT(scale int, edgeFactor int, weighted bool, seed uint64) (*graph.Graph, error) {
+	if scale <= 0 || scale > 30 {
+		return nil, fmt.Errorf("gen: rmat scale %d out of (0,30]", scale)
+	}
+	if edgeFactor <= 0 {
+		return nil, fmt.Errorf("gen: non-positive edge factor %d", edgeFactor)
+	}
+	const a, b, c = 0.57, 0.19, 0.19
+	n := 1 << scale
+	m := int64(edgeFactor) * int64(n)
+	rng := NewRNG(seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		var u, v int
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := rng.Float64()
+			switch {
+			case p < a:
+				// upper-left: no bits set
+			case p < a+b:
+				v |= 1 << bit
+			case p < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		w := 1.0
+		if weighted {
+			w = EdgeWeight(seed, int64(u), int64(v))
+		}
+		edges = append(edges, graph.Edge{U: graph.Vertex(u), V: graph.Vertex(v), W: w})
+	}
+	return graph.BuildUndirected(n, edges, graph.DedupeFirst)
+}
+
+// Geometric generates a random geometric graph: n points uniform in the unit
+// square, an edge between points closer than radius. Geometric graphs have
+// strong locality and partition well — the "well-partitioned" regime of the
+// coloring framework. Edge weights, when requested, equal 2 - distance so
+// that short edges are heavy.
+func Geometric(n int, radius float64, weighted bool, seed uint64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: non-positive vertex count %d", n)
+	}
+	if radius <= 0 || radius > 1 {
+		return nil, fmt.Errorf("gen: radius %g out of (0,1]", radius)
+	}
+	rng := NewRNG(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	// Bucket points into a grid of cells of side radius and only compare
+	// points in neighboring cells, for near-linear generation time.
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	bucket := make(map[[2]int][]int)
+	cellOf := func(i int) [2]int {
+		cx := int(xs[i] / radius)
+		cy := int(ys[i] / radius)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return [2]int{cx, cy}
+	}
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		bucket[c] = append(bucket[c], i)
+	}
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range bucket[[2]int{c[0] + dx, c[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					d := math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+					if d >= radius {
+						continue
+					}
+					w := 1.0
+					if weighted {
+						w = 2 - d
+					}
+					edges = append(edges, graph.Edge{U: graph.Vertex(i), V: graph.Vertex(j), W: w})
+				}
+			}
+		}
+	}
+	return graph.BuildUndirected(n, edges, graph.DedupeFirst)
+}
+
+// RandomBipartite generates an nrows × ncols sparse "matrix" with about
+// nnzPerRow nonzeros per row, each with a strictly positive random value —
+// the Table 1.1 instance family. Every row receives at least one entry so
+// that a perfect row matching is plausible, matching the structure of the
+// UF matrices used in the paper (square, structurally nonsingular).
+func RandomBipartite(nrows, ncols, nnzPerRow int, seed uint64) (*graph.Bipartite, error) {
+	if nrows <= 0 || ncols <= 0 || nnzPerRow <= 0 {
+		return nil, fmt.Errorf("gen: bad bipartite parameters %dx%d nnz/row %d", nrows, ncols, nnzPerRow)
+	}
+	rng := NewRNG(seed)
+	entries := make([]graph.Entry, 0, nrows*nnzPerRow)
+	for r := 0; r < nrows; r++ {
+		// A guaranteed "diagonal-ish" entry keeps rows matchable.
+		d := r % ncols
+		entries = append(entries, graph.Entry{Row: r, Col: d, W: 1 + rng.Float64()*99})
+		for k := 1; k < nnzPerRow; k++ {
+			entries = append(entries, graph.Entry{
+				Row: r, Col: rng.Intn(ncols), W: 1 + rng.Float64()*99,
+			})
+		}
+	}
+	return graph.BuildBipartite(nrows, ncols, entries, graph.DedupeMax)
+}
+
+// BipartiteOf reinterprets any graph as the bipartite representation of its
+// adjacency matrix: row vertex i and column vertex j are joined when {i, j}
+// is an edge (both orientations of each edge produce entries, as for a
+// structurally symmetric matrix).
+func BipartiteOf(g *graph.Graph) (*graph.Bipartite, error) {
+	n := g.NumVertices()
+	entries := make([]graph.Entry, 0, 2*g.NumEdges())
+	g.ForEachEdge(func(u, v graph.Vertex, w float64) {
+		entries = append(entries, graph.Entry{Row: int(u), Col: int(v), W: w})
+		entries = append(entries, graph.Entry{Row: int(v), Col: int(u), W: w})
+	})
+	return graph.BuildBipartite(n, n, entries, graph.DedupeMax)
+}

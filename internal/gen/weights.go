@@ -1,0 +1,64 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// WeightScheme selects how Reweight assigns edge weights.
+type WeightScheme int
+
+const (
+	// WeightUniform draws weights uniformly from (1, 2), deterministic per
+	// edge — the paper's "random weights" for the grid experiments.
+	WeightUniform WeightScheme = iota
+	// WeightInteger draws integer weights from [1, 1000]; ties are possible,
+	// exercising the algorithms' smallest-label tie-breaking.
+	WeightInteger
+	// WeightDegree sets w(u,v) = deg(u) + deg(v), correlating weight with
+	// density; heavy edges cluster at hubs, an adversarial case for local
+	// dominance.
+	WeightDegree
+	// WeightUnit sets every weight to 1, collapsing maximum-weight matching
+	// to maximum-cardinality-style behavior with label tie-breaking.
+	WeightUnit
+	// WeightExponential draws log-uniform weights in [1, e^6 ≈ 403),
+	// mimicking the wide dynamic range of real matrix values (the regime in
+	// which greedy matching tracks the optimum most closely — see the
+	// Table 1.1 weight-sweep experiment).
+	WeightExponential
+)
+
+// Reweight returns a copy of g with weights assigned by the scheme.
+func Reweight(g *graph.Graph, scheme WeightScheme, seed uint64) (*graph.Graph, error) {
+	out := g.Clone()
+	if out.W == nil {
+		out.W = make([]float64, len(out.Adj))
+	}
+	for u := 0; u < out.NumVertices(); u++ {
+		for i := out.Xadj[u]; i < out.Xadj[u+1]; i++ {
+			v := out.Adj[i]
+			var w float64
+			switch scheme {
+			case WeightUniform:
+				w = EdgeWeight(seed, int64(u), int64(v))
+			case WeightInteger:
+				h := EdgeWeight(seed, int64(u), int64(v))
+				w = float64(1 + int64((h-1)*1000))
+			case WeightDegree:
+				w = float64(out.Degree(graph.Vertex(u)) + out.Degree(v))
+			case WeightUnit:
+				w = 1
+			case WeightExponential:
+				h := EdgeWeight(seed, int64(u), int64(v)) // (1, 2)
+				w = math.Exp(6 * (h - 1))
+			default:
+				return nil, fmt.Errorf("gen: unknown weight scheme %d", scheme)
+			}
+			out.W[i] = w
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,347 @@
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dgraph"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+)
+
+// Distributed b-matching by the b-suitor scheme (Khan–Pothen et al.), the
+// b(v) > 1 generalization of the locally-dominant protocol of Section 3 and
+// the algorithm family of the paper's reference [9] (Halappanavar's thesis).
+//
+// Every vertex v keeps a set S(v) of the proposals it currently holds
+// (capacity b(v)); every vertex separately owns a budget of b(v) outgoing
+// proposals, issued in decreasing edge preference. The two roles never mix:
+// once S(v) is full its minimum is monotonically non-decreasing (insertions
+// must beat it), so a rejection is permanently valid and the proposal cursor
+// never needs to revisit an edge. A displaced proposer re-proposes further
+// down its list. At the fixed point the S sets are symmetric and equal the
+// sequential greedy b-matching under the shared total edge order — the same
+// "deterministic result at any rank count" property the paper reports for
+// b = 1.
+//
+// The protocol is round-synchronized: PROPOSE → decide (REJECT / DISPLACED
+// replies) → return budget → Allreduce("any proposals?").
+const (
+	bTagPropose = 110
+	bTagReply   = 111
+)
+
+// Reply kinds (both return one unit of proposal budget to the proposer).
+const (
+	bReject byte = iota
+	bDisplaced
+)
+
+// bRecSize: kind (1) + src gid (8) + dst gid (8).
+const bRecSize = 17
+
+// BParallelOptions tunes the distributed b-matching.
+type BParallelOptions struct {
+	// MaxRounds aborts a non-converging run (safety net). 0 selects 1024.
+	MaxRounds int
+	// MaxBundleBytes configures message aggregation as in ParallelOptions.
+	MaxBundleBytes int
+}
+
+// BParallelResult is one rank's share of a distributed b-matching.
+type BParallelResult struct {
+	// PartnerGIDs[v] lists the global ids matched to owned vertex v, sorted.
+	PartnerGIDs [][]int64
+	// Rounds is the number of proposal rounds executed.
+	Rounds int
+	// LocalWeight counts each matched edge once globally (smaller-gid side).
+	LocalWeight float64
+}
+
+// bPartner is one entry of a vertex's suitor set.
+type bPartner struct {
+	gid int64
+	w   float64
+}
+
+type bState struct {
+	c   *mpi.Comm
+	d   *dgraph.DistGraph
+	b   []int
+	opt BParallelOptions
+
+	suitors [][]bPartner // S(v) per owned vertex, small unordered set
+	held    []int        // outgoing proposals currently believed held
+	pref    [][]int32    // adjacency sorted by edge preference
+	cursor  []int
+
+	out      *mpi.Bundler
+	reply    *mpi.Bundler
+	proposed int64
+	pending  map[int][][]byte
+}
+
+// BParallel runs the distributed b-suitor on this rank's share; b holds the
+// capacities of the owned vertices in local index order.
+func BParallel(c *mpi.Comm, d *dgraph.DistGraph, b []int, opt BParallelOptions) (*BParallelResult, error) {
+	if c.Size() != d.P {
+		return nil, fmt.Errorf("matching: world size %d, graph distributed over %d", c.Size(), d.P)
+	}
+	if c.Rank() != d.Rank {
+		return nil, fmt.Errorf("matching: rank %d given share of rank %d", c.Rank(), d.Rank)
+	}
+	if len(b) != d.NLocal {
+		return nil, fmt.Errorf("matching: %d capacities for %d owned vertices", len(b), d.NLocal)
+	}
+	for v, cap := range b {
+		if cap < 0 {
+			return nil, fmt.Errorf("matching: negative capacity at local vertex %d", v)
+		}
+	}
+	if opt.MaxRounds == 0 {
+		opt.MaxRounds = 1024
+	}
+	s := &bState{c: c, d: d, b: b, opt: opt}
+	rounds, err := s.run()
+	if err != nil {
+		return nil, err
+	}
+	res := &BParallelResult{PartnerGIDs: make([][]int64, d.NLocal), Rounds: rounds}
+	for v := 0; v < d.NLocal; v++ {
+		gv := d.GlobalOf(int32(v))
+		gids := make([]int64, 0, len(s.suitors[v]))
+		for _, p := range s.suitors[v] {
+			gids = append(gids, p.gid)
+			if gv < p.gid {
+				res.LocalWeight += p.w
+			}
+		}
+		sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+		res.PartnerGIDs[v] = gids
+	}
+	return res, nil
+}
+
+func (s *bState) run() (int, error) {
+	d := s.d
+	n := d.NLocal
+	s.suitors = make([][]bPartner, n)
+	s.held = make([]int, n)
+	s.cursor = make([]int, n)
+	s.pref = make([][]int32, n)
+	for v := 0; v < n; v++ {
+		adj := append([]int32(nil), d.Neighbors(int32(v))...)
+		gv := d.GlobalOf(int32(v))
+		sort.Slice(adj, func(i, j int) bool {
+			wi := s.weightTo(int32(v), adj[i])
+			wj := s.weightTo(int32(v), adj[j])
+			return gidEdgeLess(wi, gv, d.GlobalOf(adj[i]), wj, gv, d.GlobalOf(adj[j]))
+		})
+		s.pref[v] = adj
+	}
+	s.out = mpi.NewBundler(s.c, bTagPropose, bRecSize, s.opt.MaxBundleBytes)
+	s.reply = mpi.NewBundler(s.c, bTagReply, bRecSize, s.opt.MaxBundleBytes)
+
+	for round := 1; ; round++ {
+		if round > s.opt.MaxRounds {
+			return round, fmt.Errorf("matching: b-suitor did not converge in %d rounds", s.opt.MaxRounds)
+		}
+		s.proposed = 0
+		s.phasePropose()
+		s.out.Flush()
+		s.c.Barrier()
+		s.phaseDecide(s.drainAll(bTagPropose))
+		s.reply.Flush()
+		s.c.Barrier()
+		s.phaseApplyReplies(s.drainAll(bTagReply))
+		if s.c.AllreduceInt64(s.proposed, mpi.OpSum) == 0 {
+			return round, nil
+		}
+	}
+}
+
+// weightTo returns the weight of the arc from owned v to local neighbor u.
+func (s *bState) weightTo(v, u int32) float64 {
+	d := s.d
+	for i := d.Xadj[v]; i < d.Xadj[v+1]; i++ {
+		if d.Adj[i] == u {
+			return d.Weight(i)
+		}
+	}
+	panic("matching: weightTo on non-neighbor")
+}
+
+// gidEdgeLess orders edges by (weight desc, sorted endpoint gids asc) — the
+// strict total order shared with GreedyB that makes the fixed point unique.
+func gidEdgeLess(wa float64, a1, a2 int64, wb float64, b1, b2 int64) bool {
+	if wa != wb {
+		return wa > wb
+	}
+	if a1 > a2 {
+		a1, a2 = a2, a1
+	}
+	if b1 > b2 {
+		b1, b2 = b2, b1
+	}
+	if a1 != b1 {
+		return a1 < b1
+	}
+	return a2 < b2
+}
+
+// worstSuitor returns the index of v's least preferred held proposal, or -1.
+func (s *bState) worstSuitor(v int32) int {
+	gv := s.d.GlobalOf(v)
+	worst := -1
+	for i, p := range s.suitors[v] {
+		if worst < 0 || gidEdgeLess(s.suitors[v][worst].w, gv, s.suitors[v][worst].gid, p.w, gv, p.gid) {
+			worst = i
+		}
+	}
+	return worst
+}
+
+// send emits one record about owned vertex v to the owner of target gid.
+func (s *bState) send(bundler *mpi.Bundler, kind byte, v int32, targetGID int64) {
+	var rec [bRecSize]byte
+	encodeRecord(rec[:], kind, s.d.GlobalOf(v), targetGID)
+	l, ok := s.d.LocalOf(targetGID)
+	if !ok {
+		panic(fmt.Sprintf("matching: target %d unknown on rank %d", targetGID, s.d.Rank))
+	}
+	bundler.Add(s.d.OwnerOf(l), rec[:])
+}
+
+// phasePropose advances every vertex with spare proposal budget down its
+// preference list, optimistically counting each proposal as held.
+func (s *bState) phasePropose() {
+	for v := int32(0); int(v) < s.d.NLocal; v++ {
+		for s.held[v] < s.b[v] && s.cursor[v] < len(s.pref[v]) {
+			u := s.pref[v][s.cursor[v]]
+			s.cursor[v]++
+			s.send(s.out, 0, v, s.d.GlobalOf(u))
+			s.held[v]++
+			s.proposed++
+		}
+	}
+}
+
+// phaseDecide pools the round's proposals per target, best first, and
+// admits each into the suitor set if there is room or it beats the minimum
+// of a full set (displacing and notifying the old holder); losers are
+// rejected. Full-set minima are monotone, so every rejection is final.
+func (s *bState) phaseDecide(proposals [][]byte) {
+	d := s.d
+	byTarget := map[int32][]int64{}
+	for _, rec := range proposals {
+		_, src, dst := decodeRecord(rec)
+		v, ok := d.LocalOf(dst)
+		if !ok || d.IsGhost(v) {
+			panic(fmt.Sprintf("matching: proposal for %d not owned by rank %d", dst, d.Rank))
+		}
+		byTarget[v] = append(byTarget[v], src)
+	}
+	for v, pool := range byTarget {
+		gv := d.GlobalOf(v)
+		sort.Slice(pool, func(i, j int) bool {
+			li, _ := d.LocalOf(pool[i])
+			lj, _ := d.LocalOf(pool[j])
+			return gidEdgeLess(s.weightTo(v, li), gv, pool[i], s.weightTo(v, lj), gv, pool[j])
+		})
+		for _, gid := range pool {
+			l, _ := d.LocalOf(gid)
+			w := s.weightTo(v, l)
+			switch {
+			case s.b[v] == 0:
+				s.send(s.reply, bReject, v, gid)
+			case len(s.suitors[v]) < s.b[v]:
+				s.suitors[v] = append(s.suitors[v], bPartner{gid, w})
+			default:
+				wi := s.worstSuitor(v)
+				if gidEdgeLess(w, gv, gid, s.suitors[v][wi].w, gv, s.suitors[v][wi].gid) {
+					old := s.suitors[v][wi]
+					s.suitors[v][wi] = bPartner{gid, w}
+					s.send(s.reply, bDisplaced, v, old.gid)
+				} else {
+					s.send(s.reply, bReject, v, gid)
+				}
+			}
+		}
+	}
+}
+
+// phaseApplyReplies returns rejected/displaced proposal budget to the
+// proposers; their cursors already sit past the failed edges, so the next
+// propose phase moves on down the preference lists.
+func (s *bState) phaseApplyReplies(replies [][]byte) {
+	for _, rec := range replies {
+		_, _, dst := decodeRecord(rec)
+		v, ok := s.d.LocalOf(dst)
+		if !ok || s.d.IsGhost(v) {
+			panic("matching: reply for non-owned vertex")
+		}
+		s.held[v]--
+		if s.held[v] < 0 {
+			panic("matching: proposal budget underflow")
+		}
+	}
+}
+
+// drainAll returns every record of the given tag; the preceding barrier
+// guarantees completeness for that tag, while records of other tags (a fast
+// peer's next phase) are buffered for their own phase.
+func (s *bState) drainAll(tag int) [][]byte {
+	if s.pending == nil {
+		s.pending = map[int][][]byte{}
+	}
+	for {
+		m, ok := s.c.TryRecv()
+		if !ok {
+			break
+		}
+		s.pending[m.Tag] = append(s.pending[m.Tag], mpi.Records(m.Data, bRecSize)...)
+	}
+	out := s.pending[tag]
+	s.pending[tag] = nil
+	return out
+}
+
+// GatherB assembles per-rank BParallel results into a global BMatching,
+// verifying cross-rank symmetry on the way (the b-suitor fixed point's
+// suitor sets are symmetric; asymmetry indicates a protocol bug). b[rank]
+// holds each rank's local capacity vector as passed to BParallel.
+func GatherB(shares []*dgraph.DistGraph, results []*BParallelResult, b [][]int) (*BMatching, error) {
+	if len(shares) == 0 || len(shares) != len(results) || len(shares) != len(b) {
+		return nil, fmt.Errorf("matching: inconsistent gather inputs")
+	}
+	globalN := shares[0].GlobalN
+	if globalN > 1<<31-1 {
+		return nil, fmt.Errorf("matching: graph too large to gather")
+	}
+	m := &BMatching{
+		B:        make([]int, globalN),
+		Partners: make([][]graph.Vertex, globalN),
+	}
+	for rank, d := range shares {
+		r := results[rank]
+		if r == nil || len(r.PartnerGIDs) != d.NLocal || len(b[rank]) != d.NLocal {
+			return nil, fmt.Errorf("matching: rank %d result/capacities malformed", rank)
+		}
+		for v := 0; v < d.NLocal; v++ {
+			gid := d.GlobalOf(int32(v))
+			m.B[gid] = b[rank][v]
+			for _, pg := range r.PartnerGIDs[v] {
+				m.Partners[gid] = append(m.Partners[gid], graph.Vertex(pg))
+			}
+		}
+	}
+	for v := range m.Partners {
+		sort.Slice(m.Partners[v], func(i, j int) bool { return m.Partners[v][i] < m.Partners[v][j] })
+		for _, u := range m.Partners[v] {
+			if !containsVertex(m.Partners[u], graph.Vertex(v)) {
+				return nil, fmt.Errorf("matching: ranks disagree on pair {%d,%d}", v, u)
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,55 @@
+package matching
+
+import (
+	"fmt"
+
+	"repro/internal/dgraph"
+	"repro/internal/graph"
+)
+
+// Gather assembles the per-rank results of a Parallel run into one global
+// Mates array, verifying on the way that the ranks agree: the two owners of
+// every matched cross edge must each name the other endpoint. It is used by
+// tests and by the experiment harness to validate distributed runs against
+// the sequential algorithm.
+func Gather(shares []*dgraph.DistGraph, results []*ParallelResult) (Mates, error) {
+	if len(shares) == 0 || len(shares) != len(results) {
+		return nil, fmt.Errorf("matching: gather over %d shares, %d results", len(shares), len(results))
+	}
+	globalN := shares[0].GlobalN
+	if globalN > 1<<31-1 {
+		return nil, fmt.Errorf("matching: graph too large to gather (%d vertices)", globalN)
+	}
+	mates := make(Mates, globalN)
+	for i := range mates {
+		mates[i] = graph.None
+	}
+	for rank, d := range shares {
+		r := results[rank]
+		if r == nil {
+			return nil, fmt.Errorf("matching: rank %d has no result", rank)
+		}
+		if len(r.MateGlobal) != d.NLocal {
+			return nil, fmt.Errorf("matching: rank %d result covers %d of %d vertices", rank, len(r.MateGlobal), d.NLocal)
+		}
+		for v := 0; v < d.NLocal; v++ {
+			gid := d.GlobalOf(int32(v))
+			mg := r.MateGlobal[v]
+			if mg < 0 {
+				continue
+			}
+			mates[gid] = graph.Vertex(mg)
+		}
+	}
+	// Symmetry check covers both interior consistency and cross-rank
+	// agreement.
+	for v, u := range mates {
+		if u == graph.None {
+			continue
+		}
+		if mates[u] != graph.Vertex(v) {
+			return nil, fmt.Errorf("matching: ranks disagree: %d->%d but %d->%d", v, u, u, mates[u])
+		}
+	}
+	return mates, nil
+}

@@ -1,0 +1,107 @@
+package matching
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteMates writes a matching as text: a "matching <n>" header, then one
+// "v mate" pair per matched edge (smaller endpoint first, each edge once).
+func WriteMates(w io.Writer, m Mates) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "matching %d\n", len(m)); err != nil {
+		return err
+	}
+	for v, u := range m {
+		if u != graph.None && graph.Vertex(v) < u {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMates parses the format written by WriteMates.
+func ReadMates(r io.Reader) (Mates, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var m Mates
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "matching" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("matching: line %d: malformed header", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("matching: line %d: bad vertex count", lineNo)
+			}
+			m = make(Mates, n)
+			for i := range m {
+				m[i] = graph.None
+			}
+			continue
+		}
+		if m == nil {
+			return nil, fmt.Errorf("matching: line %d: pair before header", lineNo)
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("matching: line %d: malformed pair", lineNo)
+		}
+		v, err1 := strconv.ParseInt(fields[0], 10, 32)
+		u, err2 := strconv.ParseInt(fields[1], 10, 32)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("matching: line %d: bad pair %q", lineNo, line)
+		}
+		if v < 0 || int(v) >= len(m) || u < 0 || int(u) >= len(m) || v == u {
+			return nil, fmt.Errorf("matching: line %d: pair {%d,%d} out of range", lineNo, v, u)
+		}
+		if m[v] != graph.None || m[u] != graph.None {
+			return nil, fmt.Errorf("matching: line %d: vertex matched twice", lineNo)
+		}
+		m[v], m[u] = graph.Vertex(u), graph.Vertex(v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("matching: missing header")
+	}
+	return m, nil
+}
+
+// WriteMatesFile writes a matching to path.
+func WriteMatesFile(path string, m Mates) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteMates(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadMatesFile reads a matching from path.
+func ReadMatesFile(path string) (Mates, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadMates(f)
+}

@@ -1,0 +1,97 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+func TestSuitorMatchesSequentialOnGrids(t *testing.T) {
+	g, err := gen.Grid2D(30, 30, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LocallyDominant(g)
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := Suitor(g, workers)
+		if err := got.VerifyMaximal(g); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("workers=%d: vertex %d mate %d, sequential %d", workers, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSuitorOnIrregularGraphs(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		g, err := gen.RMAT(9, 6, true, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := LocallyDominant(g)
+		got := Suitor(g, 4)
+		if got.Weight(g) != want.Weight(g) {
+			t.Fatalf("seed %d: suitor weight %g, sequential %g", seed, got.Weight(g), want.Weight(g))
+		}
+	}
+}
+
+func TestSuitorWithTies(t *testing.T) {
+	base, err := gen.Grid2D(12, 12, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.Reweight(base, gen.WeightInteger, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LocallyDominant(g)
+	for run := 0; run < 5; run++ { // repeated runs shake out interleavings
+		got := Suitor(g, 6)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("run %d: vertex %d mate %d, sequential %d", run, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSuitorEdgeCases(t *testing.T) {
+	empty, _ := gen.ErdosRenyi(1, 0, true, 0)
+	if m := Suitor(empty, 4); m[0] != -1 {
+		t.Fatal("isolated vertex matched")
+	}
+	if m := Suitor(empty, 0); m == nil { // workers=0 selects GOMAXPROCS
+		t.Fatal("nil mates")
+	}
+}
+
+// Property: suitor with arbitrary worker counts always reproduces the
+// sequential locally-dominant matching.
+func TestQuickSuitorDeterministic(t *testing.T) {
+	f := func(nRaw, mRaw, wRaw uint8, seed uint64) bool {
+		n := int(nRaw)%40 + 1
+		g, err := gen.ErdosRenyi(n, int64(mRaw)*2, true, seed)
+		if err != nil {
+			return false
+		}
+		want := LocallyDominant(g)
+		got := Suitor(g, int(wRaw)%6+1)
+		if got.VerifyMaximal(g) != nil {
+			return false
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

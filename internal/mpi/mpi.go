@@ -1,0 +1,456 @@
+// Package mpi is the distributed-memory substrate of this repository: an
+// in-process message-passing runtime with MPI-like semantics, standing in for
+// the MPI/Blue Gene-P environment of the paper (the repro band notes "no MPI
+// ecosystem" for Go). Each rank runs as a goroutine; ranks exchange
+// asynchronous point-to-point byte messages and synchronize through a small
+// set of collectives.
+//
+// Guarantees, chosen to match what the paper's algorithms assume of MPI:
+//
+//   - Reliable delivery: every sent message is received exactly once.
+//   - Per-pair FIFO: messages from rank a to rank b arrive in send order.
+//   - No global order: messages from different senders interleave
+//     arbitrarily; a seeded perturbation mode randomizes the interleaving to
+//     stress-test the asynchronous algorithms (the paper's Fig. 3.1
+//     discussion — "if the two SUCCEEDED messages arrive in reverse order…" —
+//     is exactly the behavior this mode exercises).
+//   - Sends never block the sender (unbounded mailboxes), mirroring buffered
+//     MPI_Isend as used with aggregated message bundles.
+//
+// The runtime also meters traffic: per-rank sent/received message and byte
+// counters, which both the experiments and the α–β performance model consume.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Message is one point-to-point message.
+type Message struct {
+	From int
+	Tag  int
+	Data []byte
+	// ArriveV is the virtual arrival time of the message (0 unless the
+	// world runs WithVirtualTime).
+	ArriveV float64
+}
+
+// World owns the mailboxes and collective state for a fixed set of ranks.
+type World struct {
+	size     int
+	boxes    []*mailbox
+	stats    []Stats
+	statsMu  []sync.Mutex
+	barrier  *barrier
+	coll     *collectives
+	perturb  uint64 // nonzero enables randomized cross-sender receive order
+	deadline time.Duration
+	vt       *VirtualTime
+	// finalVTime records each rank's virtual clock when its Run body
+	// returned (guarded by the corresponding statsMu entry).
+	finalVTime []float64
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithPerturbation makes receivers drain mailboxes in a seeded pseudo-random
+// cross-sender order instead of round-robin. Per-pair FIFO is preserved.
+func WithPerturbation(seed uint64) Option {
+	return func(w *World) {
+		if seed == 0 {
+			seed = 1
+		}
+		w.perturb = seed
+	}
+}
+
+// WithDeadline aborts Run if the ranks have not all finished within d,
+// reporting which ranks were still alive — a deadlock watchdog for tests.
+func WithDeadline(d time.Duration) Option {
+	return func(w *World) { w.deadline = d }
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int, opts ...Option) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: non-positive world size %d", size)
+	}
+	w := &World{
+		size:       size,
+		boxes:      make([]*mailbox, size),
+		stats:      make([]Stats, size),
+		statsMu:    make([]sync.Mutex, size),
+		barrier:    newBarrier(size),
+		finalVTime: make([]float64, size),
+	}
+	w.coll = newCollectives(size)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox(size)
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	return w, nil
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn once per rank, each on its own goroutine, and waits for all
+// of them. It returns the first non-nil error; a panic in a rank is captured
+// and returned as an error rather than crashing the process.
+func Run(size int, fn func(c *Comm) error, opts ...Option) error {
+	w, err := NewWorld(size, opts...)
+	if err != nil {
+		return err
+	}
+	return w.Run(fn)
+}
+
+// Run executes fn once per rank of w. A World must not be reused after Run.
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	done := make([]bool, w.size)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					mu.Lock()
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					mu.Unlock()
+				}
+				mu.Lock()
+				done[rank] = true
+				mu.Unlock()
+			}()
+			c := &Comm{world: w, rank: rank, rng: w.perturb}
+			if err := fn(c); err != nil {
+				mu.Lock()
+				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+				mu.Unlock()
+			}
+			w.statsMu[rank].Lock()
+			w.finalVTime[rank] = c.vclock
+			w.statsMu[rank].Unlock()
+		}(r)
+	}
+	if w.deadline > 0 {
+		finished := make(chan struct{})
+		go func() { wg.Wait(); close(finished) }()
+		select {
+		case <-finished:
+		case <-time.After(w.deadline):
+			mu.Lock()
+			stuck := []int{}
+			for r, d := range done {
+				if !d {
+					stuck = append(stuck, r)
+				}
+			}
+			// A rank that already failed usually explains why the others
+			// are wedged; surface its error alongside the deadline.
+			var firstErr error
+			for _, e := range errs {
+				if e != nil {
+					firstErr = e
+					break
+				}
+			}
+			mu.Unlock()
+			if firstErr != nil {
+				return fmt.Errorf("mpi: deadline exceeded; ranks still running: %v; first failure: %w", stuck, firstErr)
+			}
+			return fmt.Errorf("mpi: deadline exceeded; ranks still running: %v", stuck)
+		}
+	} else {
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RankStats returns the traffic counters of one rank after Run.
+func (w *World) RankStats(rank int) Stats {
+	w.statsMu[rank].Lock()
+	defer w.statsMu[rank].Unlock()
+	return w.stats[rank]
+}
+
+// TotalStats sums the counters over all ranks.
+func (w *World) TotalStats() Stats {
+	var t Stats
+	for r := 0; r < w.size; r++ {
+		t.Add(w.RankStats(r))
+	}
+	return t
+}
+
+// Comm is one rank's handle to the world. A Comm is used only by its own
+// rank's goroutine and is not safe for concurrent use.
+type Comm struct {
+	world *World
+	rank  int
+	rng   uint64
+	// stash holds messages drained while waiting for a specific tag inside a
+	// collective; Recv and TryRecv serve from it first.
+	stash []Message
+	// vclock is this rank's virtual clock (see vtime.go).
+	vclock float64
+}
+
+// Rank reports this rank's id in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the number of ranks.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers data to rank to with the given tag. It never blocks. The
+// data slice is owned by the receiver after the call; the sender must not
+// modify it.
+func (c *Comm) Send(to, tag int, data []byte) {
+	if to < 0 || to >= c.world.size {
+		panic(fmt.Sprintf("mpi: rank %d sends to invalid rank %d", c.rank, to))
+	}
+	mu := &c.world.statsMu[c.rank]
+	mu.Lock()
+	c.world.stats[c.rank].SentMsgs++
+	c.world.stats[c.rank].SentBytes += int64(len(data))
+	mu.Unlock()
+	c.world.boxes[to].put(Message{From: c.rank, Tag: tag, Data: data, ArriveV: c.stampSend(len(data))})
+}
+
+// Recv blocks until a message (any source, any tag) arrives and returns it.
+func (c *Comm) Recv() Message {
+	if len(c.stash) > 0 {
+		m := c.stash[0]
+		c.stash = c.stash[1:]
+		c.observeArrival(m)
+		return m
+	}
+	m, _ := c.world.boxes[c.rank].get(true, c.nextPick())
+	c.countRecv(m)
+	c.observeArrival(m)
+	return m
+}
+
+// TryRecv returns a pending message if one is available, without blocking.
+func (c *Comm) TryRecv() (Message, bool) {
+	if len(c.stash) > 0 {
+		m := c.stash[0]
+		c.stash = c.stash[1:]
+		c.observeArrival(m)
+		return m, true
+	}
+	m, ok := c.world.boxes[c.rank].get(false, c.nextPick())
+	if ok {
+		c.countRecv(m)
+		c.observeArrival(m)
+	}
+	return m, ok
+}
+
+func (c *Comm) countRecv(m Message) {
+	mu := &c.world.statsMu[c.rank]
+	mu.Lock()
+	c.world.stats[c.rank].RecvMsgs++
+	c.world.stats[c.rank].RecvBytes += int64(len(m.Data))
+	mu.Unlock()
+}
+
+// nextPick returns the cross-sender selection key for this receive: 0 for
+// round-robin, or a fresh pseudo-random value in perturbation mode.
+func (c *Comm) nextPick() uint64 {
+	if c.world.perturb == 0 {
+		return 0
+	}
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng ^ uint64(c.rank)<<32
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Barrier blocks until every rank has entered it. In virtual-time mode the
+// ranks' clocks synchronize to the maximum plus the σ barrier cost.
+func (c *Comm) Barrier() {
+	max := c.world.barrier.await(c.vclock)
+	if vt := c.world.vt; vt != nil {
+		c.vclock = max + vt.Sync
+	}
+}
+
+// DrainTag removes and discards every currently pending message with the
+// given tag (stashed or mailboxed), leaving other traffic untouched, and
+// reports how many were dropped. Protocols whose termination is local (a
+// rank may finish before stale peers' messages reach it — the matching
+// algorithm's outer loop) call Barrier and then DrainTag so that a
+// subsequent phase on the same world starts with a clean mailbox.
+func (c *Comm) DrainTag(tag int) int {
+	dropped := 0
+	keep := c.stash[:0]
+	for _, m := range c.stash {
+		if m.Tag == tag {
+			dropped++
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	c.stash = keep
+	n, bytes := c.world.boxes[c.rank].drainTag(tag)
+	dropped += n
+	mu := &c.world.statsMu[c.rank]
+	mu.Lock()
+	c.world.stats[c.rank].RecvMsgs += int64(n)
+	c.world.stats[c.rank].RecvBytes += bytes
+	mu.Unlock()
+	return dropped
+}
+
+// mailbox is an unbounded per-receiver queue with per-sender sub-queues, so
+// that per-pair FIFO survives randomized cross-sender draining.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [][]Message // one per sender
+	pending int
+	next    int // round-robin cursor
+}
+
+func newMailbox(senders int) *mailbox {
+	mb := &mailbox{queues: make([][]Message, senders)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m Message) {
+	mb.mu.Lock()
+	mb.queues[m.From] = append(mb.queues[m.From], m)
+	mb.pending++
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+// get pops one message. pick == 0 selects round-robin across non-empty
+// sender queues; otherwise pick seeds a random choice among them.
+func (mb *mailbox) get(block bool, pick uint64) (Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for mb.pending == 0 {
+		if !block {
+			return Message{}, false
+		}
+		mb.cond.Wait()
+	}
+	n := len(mb.queues)
+	var chosen = -1
+	if pick == 0 {
+		for i := 0; i < n; i++ {
+			s := (mb.next + i) % n
+			if len(mb.queues[s]) > 0 {
+				chosen = s
+				mb.next = (s + 1) % n
+				break
+			}
+		}
+	} else {
+		// Count non-empty queues, then index by pick.
+		nonEmpty := 0
+		for s := 0; s < n; s++ {
+			if len(mb.queues[s]) > 0 {
+				nonEmpty++
+			}
+		}
+		k := int(pick % uint64(nonEmpty))
+		for s := 0; s < n; s++ {
+			if len(mb.queues[s]) > 0 {
+				if k == 0 {
+					chosen = s
+					break
+				}
+				k--
+			}
+		}
+	}
+	q := mb.queues[chosen]
+	m := q[0]
+	mb.queues[chosen] = q[1:]
+	mb.pending--
+	return m, true
+}
+
+// drainTag removes all pending messages with the given tag, returning how
+// many were removed and their total payload size.
+func (mb *mailbox) drainTag(tag int) (n int, bytes int64) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for s := range mb.queues {
+		keep := mb.queues[s][:0]
+		for _, m := range mb.queues[s] {
+			if m.Tag == tag {
+				n++
+				bytes += int64(len(m.Data))
+				mb.pending--
+			} else {
+				keep = append(keep, m)
+			}
+		}
+		mb.queues[s] = keep
+	}
+	return n, bytes
+}
+
+// barrier is a reusable (cyclic) barrier that also reduces a float64
+// payload to its maximum (the virtual-clock synchronization).
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	size     int
+	count    int
+	gen      uint64
+	curMax   float64
+	readyMax float64
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all ranks arrive and returns the maximum payload of
+// this generation.
+func (b *barrier) await(v float64) float64 {
+	b.mu.Lock()
+	gen := b.gen
+	if v > b.curMax {
+		b.curMax = v
+	}
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.readyMax = b.curMax
+		b.curMax = 0
+		b.cond.Broadcast()
+		out := b.readyMax
+		b.mu.Unlock()
+		return out
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	out := b.readyMax
+	b.mu.Unlock()
+	return out
+}

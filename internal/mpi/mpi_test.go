@@ -1,0 +1,626 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunBasicExchange(t *testing.T) {
+	const p = 4
+	err := Run(p, func(c *Comm) error {
+		// Each rank sends its id to every other rank and sums what it gets.
+		for to := 0; to < p; to++ {
+			if to == c.Rank() {
+				continue
+			}
+			buf := make([]byte, 8)
+			binary.LittleEndian.PutUint64(buf, uint64(c.Rank()))
+			c.Send(to, 1, buf)
+		}
+		sum := 0
+		for i := 0; i < p-1; i++ {
+			m := c.Recv()
+			if m.Tag != 1 {
+				return fmt.Errorf("tag %d, want 1", m.Tag)
+			}
+			sum += int(binary.LittleEndian.Uint64(m.Data))
+		}
+		want := p*(p-1)/2 - c.Rank()
+		if sum != want {
+			return fmt.Errorf("rank %d sum %d, want %d", c.Rank(), sum, want)
+		}
+		return nil
+	}, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerPairFIFO(t *testing.T) {
+	const n = 500
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				buf := make([]byte, 4)
+				binary.LittleEndian.PutUint32(buf, uint32(i))
+				c.Send(1, 0, buf)
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			m := c.Recv()
+			got := binary.LittleEndian.Uint32(m.Data)
+			if got != uint32(i) {
+				return fmt.Errorf("out of order: got %d at position %d", got, i)
+			}
+		}
+		return nil
+	}, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerPairFIFOUnderPerturbation(t *testing.T) {
+	const n = 200
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() != 2 {
+			for i := 0; i < n; i++ {
+				buf := make([]byte, 8)
+				binary.LittleEndian.PutUint64(buf, uint64(c.Rank())<<32|uint64(i))
+				c.Send(2, 0, buf)
+			}
+			return nil
+		}
+		nextFrom := map[int]uint64{}
+		for i := 0; i < 2*n; i++ {
+			m := c.Recv()
+			v := binary.LittleEndian.Uint64(m.Data)
+			from, seq := int(v>>32), v&0xffffffff
+			if from != m.From {
+				return fmt.Errorf("sender mismatch: %d vs %d", from, m.From)
+			}
+			if seq != nextFrom[from] {
+				return fmt.Errorf("from %d: seq %d, want %d", from, seq, nextFrom[from])
+			}
+			nextFrom[from]++
+		}
+		return nil
+	}, WithPerturbation(12345), WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactlyOnceDelivery(t *testing.T) {
+	const p, per = 6, 100
+	var delivered int64
+	err := Run(p, func(c *Comm) error {
+		for i := 0; i < per; i++ {
+			to := (c.Rank() + 1 + i%(p-1)) % p
+			c.Send(to, 7, []byte{byte(i)})
+		}
+		c.Barrier() // all sends issued
+		for {
+			_, ok := c.TryRecv()
+			if !ok {
+				break
+			}
+			atomic.AddInt64(&delivered, 1)
+		}
+		// Everything was already in the mailbox before the drain because
+		// sends are synchronous enqueues and the barrier ordered them.
+		return nil
+	}, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != p*per {
+		t.Fatalf("delivered %d, want %d", delivered, p*per)
+	}
+}
+
+func TestTryRecvEmpty(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if _, ok := c.TryRecv(); ok {
+			return fmt.Errorf("rank %d: TryRecv returned a phantom message", c.Rank())
+		}
+		return nil
+	}, WithDeadline(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	const p = 8
+	var phase1 int64
+	err := Run(p, func(c *Comm) error {
+		atomic.AddInt64(&phase1, 1)
+		c.Barrier()
+		if got := atomic.LoadInt64(&phase1); got != p {
+			return fmt.Errorf("after barrier only %d ranks in phase 1", got)
+		}
+		return nil
+	}, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceOps(t *testing.T) {
+	const p = 5
+	err := Run(p, func(c *Comm) error {
+		r := int64(c.Rank())
+		if got := c.AllreduceInt64(r, OpSum); got != 10 {
+			return fmt.Errorf("sum = %d, want 10", got)
+		}
+		if got := c.AllreduceInt64(r, OpMax); got != 4 {
+			return fmt.Errorf("max = %d, want 4", got)
+		}
+		if got := c.AllreduceInt64(r, OpMin); got != 0 {
+			return fmt.Errorf("min = %d, want 0", got)
+		}
+		if got := c.AllreduceInt64(r, OpLor); got != 1 {
+			return fmt.Errorf("lor = %d, want 1", got)
+		}
+		zero := c.AllreduceInt64(0, OpLor)
+		if zero != 0 {
+			return fmt.Errorf("lor(all zero) = %d, want 0", zero)
+		}
+		f := c.AllreduceFloat64(float64(c.Rank())+0.5, OpSum)
+		if f != 12.5 {
+			return fmt.Errorf("fsum = %g, want 12.5", f)
+		}
+		return nil
+	}, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	// Back-to-back collectives must not corrupt each other (slot reuse).
+	err := Run(4, func(c *Comm) error {
+		for i := 0; i < 50; i++ {
+			want := int64(4 * i)
+			if got := c.AllreduceInt64(int64(i), OpSum); got != want {
+				return fmt.Errorf("iter %d: sum = %d, want %d", i, got, want)
+			}
+		}
+		return nil
+	}, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		all := c.Allgather([]byte{byte(c.Rank() * 10)})
+		for r, data := range all {
+			if len(data) != 1 || data[0] != byte(r*10) {
+				return fmt.Errorf("slot %d = %v", r, data)
+			}
+		}
+		return nil
+	}, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	const p = 5
+	err := Run(p, func(c *Comm) error {
+		chunks := make([][]byte, p)
+		for to := 0; to < p; to++ {
+			chunks[to] = []byte{byte(c.Rank()), byte(to)}
+		}
+		got := c.Alltoallv(3, chunks)
+		for from := 0; from < p; from++ {
+			want := []byte{byte(from), byte(c.Rank())}
+			if len(got[from]) != 2 || got[from][0] != want[0] || got[from][1] != want[1] {
+				return fmt.Errorf("from %d: got %v, want %v", from, got[from], want)
+			}
+		}
+		return nil
+	}, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvRepeatedPhases(t *testing.T) {
+	// Alternating Alltoallv and point-to-point traffic with different tags
+	// must not lose or mix messages (stash path).
+	const p = 3
+	err := Run(p, func(c *Comm) error {
+		for round := 0; round < 10; round++ {
+			// P2P burst on tag 50.
+			c.Send((c.Rank()+1)%p, 50, []byte{byte(round)})
+			chunks := make([][]byte, p)
+			for to := 0; to < p; to++ {
+				chunks[to] = []byte{byte(round * 2)}
+			}
+			got := c.Alltoallv(60, chunks)
+			for from := 0; from < p; from++ {
+				if got[from][0] != byte(round*2) {
+					return fmt.Errorf("round %d: chunk %v", round, got[from])
+				}
+			}
+			// Now collect the P2P message.
+			m := c.Recv()
+			if m.Tag != 50 || m.Data[0] != byte(round) {
+				return fmt.Errorf("round %d: p2p tag %d data %v", round, m.Tag, m.Data)
+			}
+		}
+		return nil
+	}, WithDeadline(15*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankErrorPropagates(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "mpi: rank 1: boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRankPanicCaptured(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not captured")
+	}
+}
+
+func TestDeadlineDetectsDeadlock(t *testing.T) {
+	start := time.Now()
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Recv() // nobody ever sends
+		}
+		return nil
+	}, WithDeadline(200*time.Millisecond))
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline fired far too late")
+	}
+}
+
+func TestInvalidWorldSize(t *testing.T) {
+	if err := Run(0, func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("accepted size 0")
+	}
+}
+
+func TestSendToInvalidRankPanics(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		c.Send(5, 0, nil)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("send to invalid rank did not fail")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]byte, 100))
+			c.Send(1, 0, make([]byte, 50))
+		} else {
+			c.Recv()
+			c.Recv()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := w.RankStats(0)
+	s1 := w.RankStats(1)
+	if s0.SentMsgs != 2 || s0.SentBytes != 150 {
+		t.Fatalf("rank 0 stats %v", s0)
+	}
+	if s1.RecvMsgs != 2 || s1.RecvBytes != 150 {
+		t.Fatalf("rank 1 stats %v", s1)
+	}
+	tot := w.TotalStats()
+	if tot.SentMsgs != 2 || tot.RecvMsgs != 2 {
+		t.Fatalf("total stats %v", tot)
+	}
+	if got := s0.Sub(Stats{SentMsgs: 1}); got.SentMsgs != 1 {
+		t.Fatalf("Sub = %v", got)
+	}
+}
+
+func TestBundlerAggregates(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const recs = 100
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			b := NewBundler(c, 9, 8, 0)
+			for i := 0; i < recs; i++ {
+				rec := make([]byte, 8)
+				binary.LittleEndian.PutUint64(rec, uint64(i))
+				b.Add(1, rec)
+			}
+			if !b.Pending() {
+				return fmt.Errorf("no pending records before flush")
+			}
+			b.Flush()
+			if b.Pending() {
+				return fmt.Errorf("pending records after flush")
+			}
+			if b.Flushes != 1 {
+				return fmt.Errorf("flushes = %d, want 1 (all records fit one bundle)", b.Flushes)
+			}
+			return nil
+		}
+		m := c.Recv()
+		rs := Records(m.Data, 8)
+		if len(rs) != recs {
+			return fmt.Errorf("got %d records, want %d", len(rs), recs)
+		}
+		for i, r := range rs {
+			if binary.LittleEndian.Uint64(r) != uint64(i) {
+				return fmt.Errorf("record %d corrupted", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One runtime message total, versus recs without bundling.
+	if s := w.RankStats(0); s.SentMsgs != 1 {
+		t.Fatalf("sent %d messages, want 1", s.SentMsgs)
+	}
+}
+
+func TestBundlerAutoFlushAtCapacity(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			b := NewBundler(c, 9, 8, 16) // two records per bundle
+			for i := 0; i < 5; i++ {
+				b.Add(1, make([]byte, 8))
+			}
+			b.Flush()
+			if b.Flushes != 3 { // 2+2+1
+				return fmt.Errorf("flushes = %d, want 3", b.Flushes)
+			}
+			return nil
+		}
+		total := 0
+		for total < 5 {
+			m := c.Recv()
+			total += len(Records(m.Data, 8))
+		}
+		return nil
+	}, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBundlerUnbundledMode(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			b := NewBundler(c, 9, 8, 8) // bundling disabled
+			for i := 0; i < 10; i++ {
+				b.Add(1, make([]byte, 8))
+			}
+			b.Flush()
+			return nil
+		}
+		for i := 0; i < 10; i++ {
+			c.Recv()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := w.RankStats(0); s.SentMsgs != 10 {
+		t.Fatalf("unbundled mode sent %d messages, want 10", s.SentMsgs)
+	}
+}
+
+func TestRecordsRejectsMisalignedBundle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on misaligned bundle")
+		}
+	}()
+	Records(make([]byte, 9), 4)
+}
+
+func TestManyRanksStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const p = 64
+	err := Run(p, func(c *Comm) error {
+		// Pass an incrementing token around the ring for p full circuits
+		// (p*p hops); the token starts at rank 1 with value 0, every relay
+		// adds 1, and the final hop lands back on rank 0 carrying p*p - 1.
+		relay := func(v uint64) {
+			buf := make([]byte, 8)
+			binary.LittleEndian.PutUint64(buf, v+1)
+			c.Send((c.Rank()+1)%p, 0, buf)
+		}
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]byte, 8))
+			for i := 0; i < p; i++ {
+				m := c.Recv()
+				v := binary.LittleEndian.Uint64(m.Data)
+				if i < p-1 {
+					relay(v)
+				} else if v != p*p-1 {
+					return fmt.Errorf("final token %d, want %d", v, p*p-1)
+				}
+			}
+			return nil
+		}
+		for i := 0; i < p; i++ {
+			m := c.Recv()
+			relay(binary.LittleEndian.Uint64(m.Data))
+		}
+		return nil
+	}, WithDeadline(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainTag(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		other := 1 - c.Rank()
+		c.Send(other, 5, []byte{1})
+		c.Send(other, 5, []byte{2})
+		c.Send(other, 6, []byte{3})
+		c.Barrier() // all sends delivered to mailboxes
+		if n := c.DrainTag(5); n != 2 {
+			return fmt.Errorf("drained %d tag-5 messages, want 2", n)
+		}
+		m := c.Recv() // the tag-6 message must survive
+		if m.Tag != 6 || m.Data[0] != 3 {
+			return fmt.Errorf("surviving message %v", m)
+		}
+		if n := c.DrainTag(5); n != 0 {
+			return fmt.Errorf("second drain found %d", n)
+		}
+		return nil
+	}, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainTagClearsStash(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		other := 1 - c.Rank()
+		c.Send(other, 7, []byte{9}) // will be stashed by recvTagged
+		chunks := make([][]byte, 2)
+		chunks[other] = []byte{1}
+		c.Alltoallv(8, chunks) // forces the tag-7 message into the stash
+		if n := c.DrainTag(7); n != 1 {
+			return fmt.Errorf("drained %d stashed messages, want 1", n)
+		}
+		return nil
+	}, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualTimeBasics(t *testing.T) {
+	vt := VirtualTime{Alpha: 1, Beta: 0.01, GammaVertex: 0.1, GammaEdge: 0.2, Sync: 0.5}
+	w, err := NewWorld(2, WithVirtualTime(vt), WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.ChargeOps(10, 5) // 10*0.2 + 5*0.1 = 2.5
+			if got := c.VTime(); got != 2.5 {
+				return fmt.Errorf("vtime after charge = %g, want 2.5", got)
+			}
+			c.Send(1, 0, make([]byte, 100)) // arrives at 2.5 + 1 + 1 = 4.5
+			return nil
+		}
+		m := c.Recv()
+		if m.ArriveV != 4.5 {
+			return fmt.Errorf("arrival vtime = %g, want 4.5", m.ArriveV)
+		}
+		if got := c.VTime(); got != 4.5 {
+			return fmt.Errorf("receiver vtime = %g, want 4.5", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MaxVirtualTime(); got != 4.5 {
+		t.Fatalf("makespan = %g, want 4.5", got)
+	}
+}
+
+func TestVirtualTimeBarrierSync(t *testing.T) {
+	vt := VirtualTime{Sync: 2}
+	w, _ := NewWorld(3, WithVirtualTime(vt), WithDeadline(10*time.Second))
+	err := w.Run(func(c *Comm) error {
+		c.ChargeSeconds(float64(c.Rank()) * 10) // clocks 0, 10, 20
+		c.Barrier()
+		if got := c.VTime(); got != 22 { // max + sync
+			return fmt.Errorf("rank %d vtime %g, want 22", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualTimeDisabledIsFree(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		c.ChargeOps(1000, 1000)
+		c.ChargeSeconds(99)
+		c.Send(1-c.Rank(), 0, []byte{1})
+		m := c.Recv()
+		if m.ArriveV != 0 || c.VTime() != 0 {
+			return fmt.Errorf("virtual time leaked while disabled")
+		}
+		return nil
+	}, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualTimeIdleWaitIsFree(t *testing.T) {
+	// A rank blocked in Recv accrues no virtual time beyond the arrival.
+	vt := VirtualTime{Alpha: 3}
+	w, _ := NewWorld(2, WithVirtualTime(vt), WithDeadline(10*time.Second))
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(50 * time.Millisecond) // real time, not virtual
+			c.Send(1, 0, nil)
+			return nil
+		}
+		m := c.Recv()
+		if m.ArriveV != 3 || c.VTime() != 3 {
+			return fmt.Errorf("vtime %g, want 3 (real waiting must not count)", c.VTime())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

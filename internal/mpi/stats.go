@@ -1,0 +1,42 @@
+package mpi
+
+import "fmt"
+
+// Stats counts a rank's traffic. The experiment harness snapshots these per
+// phase; the α–β performance model consumes (SentMsgs, SentBytes) to predict
+// Blue Gene/P-scale times.
+type Stats struct {
+	SentMsgs  int64
+	SentBytes int64
+	RecvMsgs  int64
+	RecvBytes int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.SentMsgs += o.SentMsgs
+	s.SentBytes += o.SentBytes
+	s.RecvMsgs += o.RecvMsgs
+	s.RecvBytes += o.RecvBytes
+}
+
+// Sub returns s - o, for computing per-phase deltas between snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		SentMsgs:  s.SentMsgs - o.SentMsgs,
+		SentBytes: s.SentBytes - o.SentBytes,
+		RecvMsgs:  s.RecvMsgs - o.RecvMsgs,
+		RecvBytes: s.RecvBytes - o.RecvBytes,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("sent %d msgs/%d B, recv %d msgs/%d B",
+		s.SentMsgs, s.SentBytes, s.RecvMsgs, s.RecvBytes)
+}
+
+// StatsSnapshot returns this rank's counters at the current moment. Safe to
+// call from the rank's own goroutine during Run.
+func (c *Comm) StatsSnapshot() Stats {
+	return c.world.RankStats(c.rank)
+}

@@ -1,0 +1,93 @@
+package mpi
+
+// Virtual time: a LogP-flavored simulation layer over the runtime. When a
+// World is created WithVirtualTime, every rank carries a virtual clock:
+//
+//   - algorithms charge compute via ChargeOps (γv per vertex op, γe per edge
+//     op),
+//   - a message arrives at senderClock + α + β·bytes; processing it advances
+//     the receiver's clock to at least the arrival time,
+//   - barriers (and thus collectives) synchronize clocks to the maximum,
+//     plus a σ synchronization cost.
+//
+// The maximum clock at the end of a run is a makespan estimate for the
+// modeled machine that — unlike the bulk-synchronous α–β–γ model of
+// internal/perfmodel — honors the asynchronous overlap of the real
+// execution: a rank that keeps computing while traffic is in flight pays no
+// idle time, exactly as on the paper's Blue Gene/P. Virtual waiting costs
+// nothing; only arrivals pull clocks forward. See EXPERIMENTS.md ("model
+// methodology") for how the two estimators are used together.
+type VirtualTime struct {
+	// Alpha is the per-message latency in seconds.
+	Alpha float64
+	// Beta is the per-byte cost in seconds.
+	Beta float64
+	// GammaVertex and GammaEdge are per-operation compute costs in seconds.
+	GammaVertex float64
+	GammaEdge   float64
+	// Sync is the per-barrier synchronization cost in seconds.
+	Sync float64
+}
+
+// WithVirtualTime enables virtual-time tracking with the given coefficients.
+func WithVirtualTime(vt VirtualTime) Option {
+	return func(w *World) {
+		v := vt
+		w.vt = &v
+	}
+}
+
+// ChargeOps advances this rank's virtual clock by the modeled cost of the
+// given operation counts. A no-op when virtual time is disabled, so
+// algorithms may charge unconditionally.
+func (c *Comm) ChargeOps(edgeOps, vertexOps int64) {
+	vt := c.world.vt
+	if vt == nil {
+		return
+	}
+	c.vclock += float64(edgeOps)*vt.GammaEdge + float64(vertexOps)*vt.GammaVertex
+}
+
+// ChargeSeconds advances this rank's virtual clock directly.
+func (c *Comm) ChargeSeconds(s float64) {
+	if c.world.vt != nil {
+		c.vclock += s
+	}
+}
+
+// VTime reports this rank's current virtual clock (0 when disabled).
+func (c *Comm) VTime() float64 { return c.vclock }
+
+// RankVirtualTime reports a rank's final virtual clock after Run.
+func (w *World) RankVirtualTime(rank int) float64 {
+	w.statsMu[rank].Lock()
+	defer w.statsMu[rank].Unlock()
+	return w.finalVTime[rank]
+}
+
+// MaxVirtualTime reports the virtual makespan of the run.
+func (w *World) MaxVirtualTime() float64 {
+	var max float64
+	for r := 0; r < w.size; r++ {
+		if t := w.RankVirtualTime(r); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// stampSend computes the virtual arrival time of a message being sent now.
+func (c *Comm) stampSend(bytes int) float64 {
+	vt := c.world.vt
+	if vt == nil {
+		return 0
+	}
+	return c.vclock + vt.Alpha + vt.Beta*float64(bytes)
+}
+
+// observeArrival pulls the receiver's clock to the message's arrival.
+func (c *Comm) observeArrival(m Message) {
+	if c.world.vt != nil && m.ArriveV > c.vclock {
+		c.vclock = m.ArriveV
+	}
+}

@@ -1,0 +1,351 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// MultilevelOptions tunes the multilevel k-way partitioner.
+type MultilevelOptions struct {
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices. Zero selects max(32*p, 256).
+	CoarsenTo int
+	// RefinePasses is the number of greedy boundary-refinement sweeps per
+	// uncoarsening level. Zero disables refinement entirely, which is how the
+	// "ParMETIS-like" lower-quality regime of Fig. 5.4 is produced; the
+	// METIS-like regime of Fig. 5.3 uses the default (set by Multilevel to 4
+	// when the struct is zero-valued... see DefaultRefinePasses).
+	RefinePasses int
+	// NoRefine forces zero refinement passes even when RefinePasses is 0 and
+	// the default would apply.
+	NoRefine bool
+	// Imbalance is the allowed load imbalance (default 0.05 = 5 %).
+	Imbalance float64
+	// Seed drives the randomized matching and seed selection.
+	Seed uint64
+}
+
+// DefaultRefinePasses is the refinement effort used when
+// MultilevelOptions.RefinePasses is zero and NoRefine is false.
+const DefaultRefinePasses = 4
+
+// Multilevel computes a k-way partition with the classic three-phase scheme
+// (Karypis–Kumar, the paper's reference [13]): heavy-edge-matching
+// coarsening, recursive-bisection initial partitioning of the coarsest
+// graph, and greedy boundary refinement during uncoarsening. It is the
+// repo's stand-in for METIS.
+func Multilevel(g *graph.Graph, p int, opt MultilevelOptions) (*Partition, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: non-positive part count %d", p)
+	}
+	n := g.NumVertices()
+	if p > n && n > 0 {
+		return nil, fmt.Errorf("partition: %d parts for %d vertices", p, n)
+	}
+	if n == 0 {
+		return &Partition{P: p, Part: []int32{}}, nil
+	}
+	if opt.CoarsenTo == 0 {
+		opt.CoarsenTo = 32 * p
+		if opt.CoarsenTo < 256 {
+			opt.CoarsenTo = 256
+		}
+	}
+	if opt.Imbalance == 0 {
+		opt.Imbalance = 0.05
+	}
+	passes := opt.RefinePasses
+	if passes == 0 && !opt.NoRefine {
+		passes = DefaultRefinePasses
+	}
+	if opt.NoRefine {
+		passes = 0
+	}
+
+	// Build the level stack.
+	lev := &level{g: g, vwgt: unitWeights(n)}
+	var stack []*level
+	rng := gen.NewRNG(opt.Seed)
+	for lev.g.NumVertices() > opt.CoarsenTo {
+		next := coarsen(lev, rng)
+		if next == nil { // matching stalled; stop coarsening
+			break
+		}
+		stack = append(stack, lev)
+		lev = next
+	}
+
+	// Initial partition of the coarsest level by recursive bisection.
+	part := make([]int32, lev.g.NumVertices())
+	all := make([]graph.Vertex, lev.g.NumVertices())
+	for i := range all {
+		all[i] = graph.Vertex(i)
+	}
+	bisect(lev, all, 0, p, part, rng)
+	refine(lev, part, p, passes, opt.Imbalance, rng)
+
+	// Uncoarsen, projecting and refining at each level.
+	for i := len(stack) - 1; i >= 0; i-- {
+		fine := stack[i]
+		finePart := make([]int32, fine.g.NumVertices())
+		for v := range finePart {
+			finePart[v] = part[fine.coarseOf[v]]
+		}
+		part = finePart
+		refine(fine, part, p, passes, opt.Imbalance, rng)
+		lev = fine
+	}
+	return &Partition{P: p, Part: part}, nil
+}
+
+// level is one rung of the multilevel stack. coarseOf maps this level's
+// vertices to the next-coarser level's ids (nil at the coarsest level).
+type level struct {
+	g        *graph.Graph
+	vwgt     []int64
+	coarseOf []graph.Vertex
+}
+
+func unitWeights(n int) []int64 {
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// coarsen performs one round of heavy-edge matching and contracts the graph.
+// It returns nil when the matching shrinks the graph by less than 10 %, the
+// customary stall condition.
+func coarsen(lev *level, rng *gen.RNG) *level {
+	g := lev.g
+	n := g.NumVertices()
+	mate := make([]graph.Vertex, n)
+	for i := range mate {
+		mate[i] = graph.None
+	}
+	orderIdx := rng.Perm(n)
+	matched := 0
+	for _, vi := range orderIdx {
+		v := graph.Vertex(vi)
+		if mate[v] != graph.None {
+			continue
+		}
+		adj := g.Neighbors(v)
+		wts := g.Weights(v)
+		var best graph.Vertex = graph.None
+		bestW := -1.0
+		for k, u := range adj {
+			if mate[u] != graph.None {
+				continue
+			}
+			w := 1.0
+			if wts != nil {
+				w = wts[k]
+			}
+			if w > bestW {
+				bestW, best = w, u
+			}
+		}
+		if best != graph.None {
+			mate[v], mate[best] = best, v
+			matched += 2
+		}
+	}
+	coarseN := n - matched/2
+	if coarseN > n*9/10 {
+		return nil
+	}
+	coarseOf := make([]graph.Vertex, n)
+	next := graph.Vertex(0)
+	for v := 0; v < n; v++ {
+		u := mate[v]
+		switch {
+		case u == graph.None:
+			coarseOf[v] = next
+			next++
+		case graph.Vertex(v) < u:
+			coarseOf[v] = next
+			coarseOf[u] = next
+			next++
+		}
+	}
+	vwgt := make([]int64, coarseN)
+	for v := 0; v < n; v++ {
+		vwgt[coarseOf[v]] += lev.vwgt[v]
+	}
+	// Aggregate coarse edges, merging parallels by weight sum.
+	edges := make([]graph.Edge, 0, g.NumEdges())
+	for v := 0; v < n; v++ {
+		cv := coarseOf[v]
+		adj := g.Neighbors(graph.Vertex(v))
+		for k, u := range adj {
+			cu := coarseOf[u]
+			if cv >= cu { // each coarse pair once per fine arc orientation
+				continue
+			}
+			edges = append(edges, graph.Edge{U: cv, V: cu, W: g.Weight(g.Xadj[v] + int64(k))})
+		}
+	}
+	cg, err := graph.BuildUndirected(coarseN, edges, graph.DedupeSum)
+	if err != nil {
+		// Inputs are internally generated; failure indicates a programming
+		// error, not bad user input.
+		panic(fmt.Sprintf("partition: coarsen produced invalid graph: %v", err))
+	}
+	lev.coarseOf = coarseOf
+	return &level{g: cg, vwgt: vwgt}
+}
+
+// bisect recursively splits the vertex set into p parts labeled
+// [base, base+p), growing one side breadth-first until it holds its share of
+// the total vertex weight.
+func bisect(lev *level, verts []graph.Vertex, base, p int, part []int32, rng *gen.RNG) {
+	if p == 1 {
+		for _, v := range verts {
+			part[v] = int32(base)
+		}
+		return
+	}
+	pl := p / 2
+	pr := p - pl
+	var total int64
+	for _, v := range verts {
+		total += lev.vwgt[v]
+	}
+	target := total * int64(pl) / int64(p)
+
+	in := make(map[graph.Vertex]bool, len(verts))
+	for _, v := range verts {
+		in[v] = true
+	}
+	side := make(map[graph.Vertex]bool, len(verts)/2)
+	var grown int64
+	queue := make([]graph.Vertex, 0, len(verts)/2)
+	// Grow from (pseudo-)peripheral seeds until the target weight is reached;
+	// multiple seeds handle disconnected regions.
+	for grown < target {
+		var seed graph.Vertex = graph.None
+		for try := 0; try < 16; try++ {
+			c := verts[rng.Intn(len(verts))]
+			if !side[c] {
+				seed = c
+				break
+			}
+		}
+		if seed == graph.None {
+			for _, v := range verts {
+				if !side[v] {
+					seed = v
+					break
+				}
+			}
+		}
+		if seed == graph.None {
+			break
+		}
+		queue = append(queue[:0], seed)
+		side[seed] = true
+		grown += lev.vwgt[seed]
+		for len(queue) > 0 && grown < target {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range lev.g.Neighbors(v) {
+				if in[u] && !side[u] && grown < target {
+					side[u] = true
+					grown += lev.vwgt[u]
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	left := make([]graph.Vertex, 0, len(verts)/2)
+	right := make([]graph.Vertex, 0, len(verts)/2)
+	for _, v := range verts {
+		if side[v] {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	// Degenerate splits (all vertices on one side) are rebalanced bluntly.
+	if len(left) == 0 || len(right) == 0 {
+		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+		mid := len(verts) * pl / p
+		left = append(left[:0], verts[:mid]...)
+		right = append(right[:0], verts[mid:]...)
+	}
+	bisect(lev, left, base, pl, part, rng)
+	bisect(lev, right, base+pl, pr, part, rng)
+}
+
+// refine performs greedy boundary-move passes: each boundary vertex moves to
+// the neighboring part with the largest positive gain (external minus
+// internal edge weight) provided the move keeps both parts within the load
+// bound. This is the lightweight cousin of Kernighan–Lin/Fiduccia–Mattheyses
+// refinement used at every level of the multilevel scheme.
+func refine(lev *level, part []int32, p int, passes int, imbalance float64, rng *gen.RNG) {
+	if passes <= 0 {
+		return
+	}
+	g := lev.g
+	n := g.NumVertices()
+	load := make([]int64, p)
+	var total int64
+	for v := 0; v < n; v++ {
+		load[part[v]] += lev.vwgt[v]
+		total += lev.vwgt[v]
+	}
+	maxLoad := int64(float64(total)/float64(p)*(1+imbalance)) + 1
+	ext := make(map[int32]float64, 8)
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for _, vi := range rng.Perm(n) {
+			v := graph.Vertex(vi)
+			home := part[v]
+			adj := g.Neighbors(v)
+			if len(adj) == 0 {
+				continue
+			}
+			clear(ext)
+			internal := 0.0
+			boundary := false
+			wts := g.Weights(v)
+			for k, u := range adj {
+				w := 1.0
+				if wts != nil {
+					w = wts[k]
+				}
+				if part[u] == home {
+					internal += w
+				} else {
+					ext[part[u]] += w
+					boundary = true
+				}
+			}
+			if !boundary {
+				continue
+			}
+			bestPart := home
+			bestGain := 0.0
+			for tp, w := range ext {
+				gain := w - internal
+				if gain > bestGain && load[tp]+lev.vwgt[v] <= maxLoad {
+					bestGain, bestPart = gain, tp
+				}
+			}
+			if bestPart != home {
+				load[home] -= lev.vwgt[v]
+				load[bestPart] += lev.vwgt[v]
+				part[v] = bestPart
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package partition assigns graph vertices to processors. It supplies the
+// initial data distributions the paper assumes ("the input graph is assumed
+// to be partitioned and distributed among the available processors in some
+// reasonable way"): the uniform two-dimensional grid distribution of the
+// weak/strong scaling experiments, and graph partitioners standing in for
+// METIS (multilevel with refinement, low cut — Fig. 5.3) and for ParMETIS's
+// lower quality at high processor counts (refinement off / randomized — the
+// 40 % cut regime of Fig. 5.4).
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Partition maps each vertex to a part (processor) in [0, P).
+type Partition struct {
+	P    int
+	Part []int32 // len = NumVertices
+}
+
+// Validate checks that every vertex has an in-range part.
+func (p *Partition) Validate(g *graph.Graph) error {
+	if p.P <= 0 {
+		return fmt.Errorf("partition: non-positive part count %d", p.P)
+	}
+	if len(p.Part) != g.NumVertices() {
+		return fmt.Errorf("partition: %d assignments for %d vertices", len(p.Part), g.NumVertices())
+	}
+	for v, part := range p.Part {
+		if part < 0 || int(part) >= p.P {
+			return fmt.Errorf("partition: vertex %d assigned to part %d of %d", v, part, p.P)
+		}
+	}
+	return nil
+}
+
+// Metrics quantify partition quality.
+type Metrics struct {
+	P            int
+	EdgeCut      int64   // number of cross edges
+	CutFraction  float64 // EdgeCut / NumEdges
+	MaxPartSize  int
+	MinPartSize  int
+	Imbalance    float64 // MaxPartSize / ideal - 1
+	BoundaryVtx  int64   // vertices with at least one cross edge
+	BoundaryFrac float64 // BoundaryVtx / NumVertices
+}
+
+// Measure computes Metrics for p on g.
+func Measure(g *graph.Graph, p *Partition) Metrics {
+	m := Metrics{P: p.P, MinPartSize: g.NumVertices()}
+	sizes := make([]int, p.P)
+	for _, part := range p.Part {
+		sizes[part]++
+	}
+	for _, s := range sizes {
+		if s > m.MaxPartSize {
+			m.MaxPartSize = s
+		}
+		if s < m.MinPartSize {
+			m.MinPartSize = s
+		}
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		boundary := false
+		for _, u := range g.Neighbors(graph.Vertex(v)) {
+			if p.Part[u] != p.Part[v] {
+				boundary = true
+				if graph.Vertex(v) < u {
+					m.EdgeCut++
+				}
+			}
+		}
+		if boundary {
+			m.BoundaryVtx++
+		}
+	}
+	if g.NumEdges() > 0 {
+		m.CutFraction = float64(m.EdgeCut) / float64(g.NumEdges())
+	}
+	if n > 0 {
+		m.BoundaryFrac = float64(m.BoundaryVtx) / float64(n)
+		ideal := float64(n) / float64(p.P)
+		if ideal > 0 {
+			m.Imbalance = float64(m.MaxPartSize)/ideal - 1
+		}
+	}
+	return m
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%d cut=%d (%.1f%%) sizes[%d..%d] imbalance=%.2f%% boundary=%.1f%%",
+		m.P, m.EdgeCut, 100*m.CutFraction, m.MinPartSize, m.MaxPartSize,
+		100*m.Imbalance, 100*m.BoundaryFrac)
+}
+
+// PartVertices groups vertex ids by part.
+func PartVertices(p *Partition) [][]graph.Vertex {
+	out := make([][]graph.Vertex, p.P)
+	for v, part := range p.Part {
+		out[part] = append(out[part], graph.Vertex(v))
+	}
+	return out
+}

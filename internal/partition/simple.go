@@ -1,0 +1,155 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Block1D assigns contiguous id ranges of nearly equal size to the parts —
+// the trivial distribution. On grid graphs with row-major ids it corresponds
+// to striping the grid by rows.
+func Block1D(g *graph.Graph, p int) (*Partition, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: non-positive part count %d", p)
+	}
+	n := g.NumVertices()
+	part := make([]int32, n)
+	for v := 0; v < n; v++ {
+		part[v] = int32(int64(v) * int64(p) / int64(n))
+	}
+	if n == 0 {
+		part = []int32{}
+	}
+	return &Partition{P: p, Part: part}, nil
+}
+
+// Random assigns each vertex to a uniformly random part — the worst
+// reasonable distribution (boundary fraction approaches 1), used to drive the
+// poorly-partitioned regime in ablations.
+func Random(g *graph.Graph, p int, seed uint64) (*Partition, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: non-positive part count %d", p)
+	}
+	rng := gen.NewRNG(seed)
+	part := make([]int32, g.NumVertices())
+	for v := range part {
+		part[v] = int32(rng.Intn(p))
+	}
+	return &Partition{P: p, Part: part}, nil
+}
+
+// Grid2D computes the paper's uniform two-dimensional distribution of a
+// k1 × k2 grid graph over a pr × pc processor grid: processor (i, j) owns the
+// subgrid block [i·k1/pr, (i+1)·k1/pr) × [j·k2/pc, (j+1)·k2/pc). The paper's
+// example — an 8,000² grid on 1,024 processors (32 × 32) gives each processor
+// a 250 × 250 subgrid — is exactly this map.
+func Grid2D(k1, k2, pr, pc int) (*Partition, error) {
+	if k1 <= 0 || k2 <= 0 || pr <= 0 || pc <= 0 {
+		return nil, fmt.Errorf("partition: bad grid distribution %dx%d over %dx%d", k1, k2, pr, pc)
+	}
+	if pr > k1 || pc > k2 {
+		return nil, fmt.Errorf("partition: processor grid %dx%d exceeds graph grid %dx%d", pr, pc, k1, k2)
+	}
+	part := make([]int32, k1*k2)
+	for r := 0; r < k1; r++ {
+		pi := int64(r) * int64(pr) / int64(k1)
+		for c := 0; c < k2; c++ {
+			pj := int64(c) * int64(pc) / int64(k2)
+			part[r*k2+c] = int32(pi*int64(pc) + pj)
+		}
+	}
+	return &Partition{P: pr * pc, Part: part}, nil
+}
+
+// ProcessorGrid factors p into the most square pr × pc shape with pr*pc == p.
+func ProcessorGrid(p int) (pr, pc int) {
+	pr = int(math.Sqrt(float64(p)))
+	for pr > 1 && p%pr != 0 {
+		pr--
+	}
+	if pr < 1 {
+		pr = 1
+	}
+	return pr, p / pr
+}
+
+// BFS partitions by region growing: parts are grown breadth-first from
+// spread-out seeds, each capped at ceil(n/p) vertices. Quality sits between
+// Random and Multilevel — decent locality, no refinement.
+func BFS(g *graph.Graph, p int, seed uint64) (*Partition, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: non-positive part count %d", p)
+	}
+	n := g.NumVertices()
+	part := make([]int32, n)
+	for i := range part {
+		part[i] = -1
+	}
+	cap_ := (n + p - 1) / p
+	rng := gen.NewRNG(seed)
+	queue := make([]graph.Vertex, 0, cap_)
+	assigned := 0
+	for k := 0; k < p && assigned < n; k++ {
+		// Seed: a random unassigned vertex.
+		var s graph.Vertex = graph.None
+		for try := 0; try < 32; try++ {
+			c := graph.Vertex(rng.Intn(n))
+			if part[c] < 0 {
+				s = c
+				break
+			}
+		}
+		if s == graph.None {
+			for v := 0; v < n; v++ {
+				if part[v] < 0 {
+					s = graph.Vertex(v)
+					break
+				}
+			}
+		}
+		size := 0
+		queue = append(queue[:0], s)
+		part[s] = int32(k)
+		size++
+		assigned++
+		for len(queue) > 0 && size < cap_ {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if part[u] < 0 && size < cap_ {
+					part[u] = int32(k)
+					size++
+					assigned++
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	// Any leftovers (disconnected graphs, exhausted caps) go to the least
+	// loaded parts.
+	if assigned < n {
+		sizes := make([]int, p)
+		for _, pt := range part {
+			if pt >= 0 {
+				sizes[pt]++
+			}
+		}
+		for v := 0; v < n; v++ {
+			if part[v] >= 0 {
+				continue
+			}
+			best := 0
+			for k := 1; k < p; k++ {
+				if sizes[k] < sizes[best] {
+					best = k
+				}
+			}
+			part[v] = int32(best)
+			sizes[best]++
+		}
+	}
+	return &Partition{P: p, Part: part}, nil
+}
