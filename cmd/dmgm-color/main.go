@@ -7,6 +7,8 @@
 //	dmgm-color -in graph.bin -order smallest-last
 //	dmgm-color -in graph.bin -p 16 -superstep 1000 -comm neighbors
 //	dmgm-color -in graph.bin -p 16 -algo jp
+//	dmgm-color -in graph.bin -p 4 -launch        # 4 local processes over TCP
+//	dmgm-color -in graph.bin -p 4 -transport tcp -rank 2 -registry host:9000
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"repro/internal/coloring"
 	"repro/internal/dgraph"
 	"repro/internal/graph"
+	"repro/internal/launch"
 	"repro/internal/mpi"
 	"repro/internal/order"
 	"repro/internal/partition"
@@ -27,6 +30,7 @@ import (
 )
 
 func main() {
+	tf := launch.RegisterFlags()
 	var (
 		in        = flag.String("in", "", "input graph path (required)")
 		ordName   = flag.String("order", "natural", "sequential ordering: natural | random | largest-first | smallest-last | incidence-degree | saturation-degree")
@@ -43,6 +47,21 @@ func main() {
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "dmgm-color: -in is required")
+		os.Exit(2)
+	}
+	if (tf.Remote() || tf.Launch) && *algo == "jp" {
+		fmt.Fprintln(os.Stderr, "dmgm-color: -algo jp runs in-process only (no -transport tcp)")
+		os.Exit(2)
+	}
+	if tf.Launch {
+		if *p <= 1 {
+			fmt.Fprintln(os.Stderr, "dmgm-color: -launch needs -p > 1")
+			os.Exit(2)
+		}
+		os.Exit(launch.Local(*p, "launch"))
+	}
+	if tf.Remote() && *p <= 1 {
+		fmt.Fprintln(os.Stderr, "dmgm-color: -transport tcp needs -p > 1")
 		os.Exit(2)
 	}
 	g, err := graph.ReadFile(*in)
@@ -122,14 +141,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmgm-color: unknown comm mode %q\n", *comm)
 		os.Exit(2)
 	}
+	w, err := tf.World(part.P, mpi.WithDeadline(10*time.Minute))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-color: %v\n", err)
+		os.Exit(1)
+	}
 	start := time.Now()
 	var res *dmgm.ColorParallelResult
 	if *distance2 {
-		res, err = dmgm.ColorParallelDistance2(g, part, dmgm.ColorParallelOptions{
+		res, err = dmgm.ColorParallelDistance2World(w, g, part, dmgm.ColorParallelOptions{
 			SuperstepSize: *superstep, Seed: *seed,
 		})
 	} else {
-		res, err = dmgm.ColorParallel(g, part, dmgm.ColorParallelOptions{
+		res, err = dmgm.ColorParallelWorld(w, g, part, dmgm.ColorParallelOptions{
 			SuperstepSize: *superstep, CommMode: mode, Seed: *seed,
 		})
 	}
@@ -138,6 +162,12 @@ func main() {
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
+	if res == nil {
+		// A tcp worker that does not host rank 0: the gathered result lives
+		// on rank 0's process, this one just reports completion.
+		fmt.Printf("rank %d: done in %v\n", tf.Rank, elapsed)
+		return
+	}
 	if *distance2 {
 		err = coloring.VerifyDistance2(g, res.Colors)
 	} else {

@@ -8,6 +8,8 @@
 //	dmgm-match -in graph.bin -p 16                # distributed over 16 ranks
 //	dmgm-match -in graph.bin -p 16 -nobundle      # ablate message bundling
 //	dmgm-match -in graph.bin -algo greedy
+//	dmgm-match -in graph.bin -p 4 -launch         # 4 local processes over TCP
+//	dmgm-match -in graph.bin -p 4 -transport tcp -rank 2 -registry host:9000
 package main
 
 import (
@@ -17,13 +19,16 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/launch"
 	"repro/internal/matching"
+	"repro/internal/mpi"
 	"repro/internal/partition"
 
 	"repro/dmgm"
 )
 
 func main() {
+	tf := launch.RegisterFlags()
 	var (
 		in       = flag.String("in", "", "input graph path (required)")
 		algo     = flag.String("algo", "localdom", "localdom | greedy")
@@ -37,6 +42,17 @@ func main() {
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "dmgm-match: -in is required")
+		os.Exit(2)
+	}
+	if tf.Launch {
+		if *p <= 1 {
+			fmt.Fprintln(os.Stderr, "dmgm-match: -launch needs -p > 1")
+			os.Exit(2)
+		}
+		os.Exit(launch.Local(*p, "launch"))
+	}
+	if tf.Remote() && *p <= 1 {
+		fmt.Fprintln(os.Stderr, "dmgm-match: -transport tcp needs -p > 1")
 		os.Exit(2)
 	}
 	g, err := graph.ReadFile(*in)
@@ -102,13 +118,24 @@ func main() {
 	if *noBundle {
 		opt.BundleBytes = 17 // one protocol record per message
 	}
+	w, err := tf.World(part.P, mpi.WithDeadline(10*time.Minute))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-match: %v\n", err)
+		os.Exit(1)
+	}
 	start := time.Now()
-	res, err := dmgm.MatchParallel(g, part, opt)
+	res, err := dmgm.MatchParallelWorld(w, g, part, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dmgm-match: %v\n", err)
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
+	if res == nil {
+		// A tcp worker that does not host rank 0: the gathered result lives
+		// on rank 0's process, this one just reports completion.
+		fmt.Printf("rank %d: done in %v\n", tf.Rank, elapsed)
+		return
+	}
 	if err := res.Mates.VerifyMaximal(g); err != nil {
 		fmt.Fprintf(os.Stderr, "dmgm-match: result verification failed: %v\n", err)
 		os.Exit(1)

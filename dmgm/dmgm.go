@@ -23,6 +23,7 @@
 package dmgm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -231,13 +232,6 @@ type MatchParallelResult struct {
 // matching with one goroutine rank per part, and gathers the global result.
 // The matching is identical to Match(g) for any partition.
 func MatchParallel(g *Graph, part *Partition, opt MatchParallelOptions) (*MatchParallelResult, error) {
-	if err := part.Validate(g); err != nil {
-		return nil, err
-	}
-	shares, err := dgraph.Distribute(g, part)
-	if err != nil {
-		return nil, err
-	}
 	if opt.Deadline == 0 {
 		opt.Deadline = 10 * time.Minute
 	}
@@ -245,7 +239,27 @@ func MatchParallel(g *Graph, part *Partition, opt MatchParallelOptions) (*MatchP
 	if err != nil {
 		return nil, err
 	}
-	results := make([]*matching.ParallelResult, part.P)
+	return MatchParallelWorld(w, g, part, opt)
+}
+
+// MatchParallelWorld runs the distributed matching over an existing world,
+// which may span multiple processes through a remote transport (see
+// mpi.WithTransport). Every process must call it with the same graph and
+// partition; the global result is assembled through collectives, so it is
+// returned on the process hosting rank 0 and is nil (with a nil error) on
+// every other process.
+func MatchParallelWorld(w *mpi.World, g *Graph, part *Partition, opt MatchParallelOptions) (*MatchParallelResult, error) {
+	if err := part.Validate(g); err != nil {
+		return nil, err
+	}
+	if w.Size() != part.P {
+		return nil, fmt.Errorf("dmgm: world of %d ranks for a %d-way partition", w.Size(), part.P)
+	}
+	shares, err := dgraph.Distribute(g, part)
+	if err != nil {
+		return nil, err
+	}
+	var out *MatchParallelResult
 	err = w.Run(func(c *mpi.Comm) error {
 		res, err := matching.Parallel(c, shares[c.Rank()], matching.ParallelOptions{
 			MaxBundleBytes: opt.BundleBytes,
@@ -253,26 +267,68 @@ func MatchParallel(g *Graph, part *Partition, opt MatchParallelOptions) (*MatchP
 		if err != nil {
 			return err
 		}
-		results[c.Rank()] = res // one writer per slot; Run joins before read
+		weight := c.AllreduceFloat64(res.LocalWeight, mpi.OpSum)
+		iters := c.AllreduceInt64(res.OuterIterations, mpi.OpMax)
+		snap := c.StatsSnapshot() // collectives are uncounted, so this is final
+		msgs := c.AllreduceInt64(snap.SentMsgs, mpi.OpSum)
+		bytes := c.AllreduceInt64(snap.SentBytes, mpi.OpSum)
+		parts := c.Allgather(encodeInt64s(res.MateGlobal))
+		if c.Rank() != 0 {
+			return nil
+		}
+		results := make([]*matching.ParallelResult, w.Size())
+		for r, p := range parts {
+			results[r] = &matching.ParallelResult{MateGlobal: decodeInt64s(p)}
+		}
+		mates, err := matching.Gather(shares, results)
+		if err != nil {
+			return err
+		}
+		out = &MatchParallelResult{
+			Mates:           mates,
+			Weight:          weight,
+			OuterIterations: iters,
+			Messages:        msgs,
+			Bytes:           bytes,
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	mates, err := matching.Gather(shares, results)
-	if err != nil {
-		return nil, err
-	}
-	out := &MatchParallelResult{Mates: mates}
-	for _, r := range results {
-		out.Weight += r.LocalWeight
-		if r.OuterIterations > out.OuterIterations {
-			out.OuterIterations = r.OuterIterations
-		}
-	}
-	st := w.TotalStats()
-	out.Messages, out.Bytes = st.SentMsgs, st.SentBytes
 	return out, nil
+}
+
+func encodeInt64s(xs []int64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+func decodeInt64s(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func encodeInt32s(xs []int32) []byte {
+	out := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+	}
+	return out
+}
+
+func decodeInt32s(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
 }
 
 // Coloring communication modes (Section 4.2).
@@ -311,13 +367,6 @@ type ColorParallelResult struct {
 // ColorParallel distributes g by part and runs the speculative iterative
 // distance-1 coloring with one goroutine rank per part.
 func ColorParallel(g *Graph, part *Partition, opt ColorParallelOptions) (*ColorParallelResult, error) {
-	if err := part.Validate(g); err != nil {
-		return nil, err
-	}
-	shares, err := dgraph.Distribute(g, part)
-	if err != nil {
-		return nil, err
-	}
 	if opt.Deadline == 0 {
 		opt.Deadline = 10 * time.Minute
 	}
@@ -325,40 +374,91 @@ func ColorParallel(g *Graph, part *Partition, opt ColorParallelOptions) (*ColorP
 	if err != nil {
 		return nil, err
 	}
-	results := make([]*coloring.ParallelResult, part.P)
+	return ColorParallelWorld(w, g, part, opt)
+}
+
+// ColorParallelWorld runs the speculative distance-1 coloring over an
+// existing world, which may span multiple processes through a remote
+// transport. Every process must call it with the same graph and partition;
+// the global result is returned on the process hosting rank 0 and is nil
+// (with a nil error) elsewhere.
+func ColorParallelWorld(w *mpi.World, g *Graph, part *Partition, opt ColorParallelOptions) (*ColorParallelResult, error) {
+	return colorParallelOver(w, g, part, opt, false)
+}
+
+// ColorParallelDistance2World is ColorParallelWorld for the distance-2
+// variant.
+func ColorParallelDistance2World(w *mpi.World, g *Graph, part *Partition, opt ColorParallelOptions) (*ColorParallelResult, error) {
+	return colorParallelOver(w, g, part, opt, true)
+}
+
+// colorParallelOver is the shared driver for both coloring variants: run the
+// per-rank algorithm, then assemble the global result through collectives so
+// the code path is identical for in-process and wire-transport worlds.
+func colorParallelOver(w *mpi.World, g *Graph, part *Partition, opt ColorParallelOptions, distance2 bool) (*ColorParallelResult, error) {
+	if err := part.Validate(g); err != nil {
+		return nil, err
+	}
+	if w.Size() != part.P {
+		return nil, fmt.Errorf("dmgm: world of %d ranks for a %d-way partition", w.Size(), part.P)
+	}
+	shares, err := dgraph.Distribute(g, part)
+	if err != nil {
+		return nil, err
+	}
+	var out *ColorParallelResult
 	err = w.Run(func(c *mpi.Comm) error {
-		res, err := coloring.Parallel(c, shares[c.Rank()], coloring.ParallelOptions{
-			SuperstepSize: opt.SuperstepSize,
-			CommMode:      opt.CommMode,
-			Strategy:      opt.Strategy,
-			Order:         opt.Order,
-			Conflict:      opt.Conflict,
-			Seed:          opt.Seed,
-			Threads:       opt.Threads,
-		})
+		var res *coloring.ParallelResult
+		var err error
+		if distance2 {
+			res, err = coloring.ParallelDistance2(c, shares[c.Rank()], coloring.ParallelOptions{
+				SuperstepSize: opt.SuperstepSize,
+				Conflict:      opt.Conflict,
+				Seed:          opt.Seed,
+			})
+		} else {
+			res, err = coloring.Parallel(c, shares[c.Rank()], coloring.ParallelOptions{
+				SuperstepSize: opt.SuperstepSize,
+				CommMode:      opt.CommMode,
+				Strategy:      opt.Strategy,
+				Order:         opt.Order,
+				Conflict:      opt.Conflict,
+				Seed:          opt.Seed,
+				Threads:       opt.Threads,
+			})
+		}
 		if err != nil {
 			return err
 		}
-		results[c.Rank()] = res
+		conflicts := c.AllreduceInt64(res.Conflicts, mpi.OpSum)
+		snap := c.StatsSnapshot() // collectives are uncounted, so this is final
+		msgs := c.AllreduceInt64(snap.SentMsgs, mpi.OpSum)
+		bytes := c.AllreduceInt64(snap.SentBytes, mpi.OpSum)
+		parts := c.Allgather(encodeInt32s(res.Colors))
+		if c.Rank() != 0 {
+			return nil
+		}
+		results := make([]*coloring.ParallelResult, w.Size())
+		for r, p := range parts {
+			results[r] = &coloring.ParallelResult{Colors: decodeInt32s(p)}
+		}
+		colors, err := coloring.Gather(shares, results)
+		if err != nil {
+			return err
+		}
+		out = &ColorParallelResult{
+			Colors:    colors,
+			NumColors: res.NumColors, // identical on every rank
+			Rounds:    res.Rounds,
+			Conflicts: conflicts,
+			Messages:  msgs,
+			Bytes:     bytes,
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	colors, err := coloring.Gather(shares, results)
-	if err != nil {
-		return nil, err
-	}
-	out := &ColorParallelResult{
-		Colors:    colors,
-		NumColors: results[0].NumColors,
-		Rounds:    results[0].Rounds,
-	}
-	for _, r := range results {
-		out.Conflicts += r.Conflicts
-	}
-	st := w.TotalStats()
-	out.Messages, out.Bytes = st.SentMsgs, st.SentBytes
 	return out, nil
 }
 
@@ -367,13 +467,6 @@ func ColorParallel(g *Graph, part *Partition, opt ColorParallelOptions) (*ColorP
 // forbidden-color notices). The paper's Jacobian motivation consumes exactly
 // this variant.
 func ColorParallelDistance2(g *Graph, part *Partition, opt ColorParallelOptions) (*ColorParallelResult, error) {
-	if err := part.Validate(g); err != nil {
-		return nil, err
-	}
-	shares, err := dgraph.Distribute(g, part)
-	if err != nil {
-		return nil, err
-	}
 	if opt.Deadline == 0 {
 		opt.Deadline = 10 * time.Minute
 	}
@@ -381,37 +474,7 @@ func ColorParallelDistance2(g *Graph, part *Partition, opt ColorParallelOptions)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]*coloring.ParallelResult, part.P)
-	err = w.Run(func(c *mpi.Comm) error {
-		res, err := coloring.ParallelDistance2(c, shares[c.Rank()], coloring.ParallelOptions{
-			SuperstepSize: opt.SuperstepSize,
-			Conflict:      opt.Conflict,
-			Seed:          opt.Seed,
-		})
-		if err != nil {
-			return err
-		}
-		results[c.Rank()] = res
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	colors, err := coloring.Gather(shares, results)
-	if err != nil {
-		return nil, err
-	}
-	out := &ColorParallelResult{
-		Colors:    colors,
-		NumColors: results[0].NumColors,
-		Rounds:    results[0].Rounds,
-	}
-	for _, r := range results {
-		out.Conflicts += r.Conflicts
-	}
-	st := w.TotalStats()
-	out.Messages, out.Bytes = st.SentMsgs, st.SentBytes
-	return out, nil
+	return ColorParallelDistance2World(w, g, part, opt)
 }
 
 // VerifyMatching checks validity and maximality of a matching on g.

@@ -514,6 +514,7 @@ func (s *colorState) drain() {
 				s.ghostColor[int(l)-s.d.NLocal] = col
 			}
 		}
+		s.out.Recycle(m.Data) // fully consumed; reuse for outbound bundles
 	}
 }
 

@@ -1,0 +1,226 @@
+// Package conformance cross-checks the two transport backends: the same
+// algorithm on the same instance must produce the same answer whether the
+// ranks are goroutines sharing memory (inproc) or endpoints exchanging frames
+// over real localhost sockets (tcp). Where the algorithm is deterministic,
+// message counts must agree too — the negative-tag convention keeps the
+// runtime's own over-the-wire collective traffic out of the counters on both
+// backends.
+package conformance
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/dmgm"
+	"repro/internal/gen"
+	"repro/internal/mpi"
+	"repro/internal/mpi/transport"
+	"repro/internal/partition"
+)
+
+const nRanks = 4
+
+// overTCP runs fn once per rank, each rank owning its own World over a
+// localhost TCP mesh — one test-binary stand-in for P processes. fn returns
+// the global result on rank 0's world and nil elsewhere (the contract of the
+// dmgm *World entry points); overTCP returns rank 0's value.
+func overTCP[T any](t *testing.T, p int, fn func(w *mpi.World) (*T, error)) *T {
+	t.Helper()
+	eps, err := transport.NewLocalTCPCluster(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worlds := make([]*mpi.World, p)
+	for i, ep := range eps {
+		w, err := mpi.NewWorld(p, mpi.WithTransport(ep), mpi.WithDeadline(60*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		worlds[i] = w
+	}
+	results := make([]*T, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := range worlds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = fn(worlds[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("tcp rank %d: %v", i, err)
+		}
+	}
+	for i, r := range results {
+		if (r != nil) != (i == 0) {
+			t.Fatalf("result returned on world %d; want rank 0 only", i)
+		}
+	}
+	return results[0]
+}
+
+// instances the harness runs; the path graph's strictly increasing weights
+// make the matching cascade sequentially, so even its message counts are
+// schedule-independent.
+type instance struct {
+	name          string
+	g             *dmgm.Graph
+	part          *dmgm.Partition
+	deterministic bool // message counts are schedule-independent
+}
+
+func buildInstances(t *testing.T) []instance {
+	t.Helper()
+	grid, err := gen.Grid2D(8, 8, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridPart, err := partition.Block1D(grid, nRanks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pathN = 40
+	edges := make([]dmgm.Edge, pathN-1)
+	for i := range edges {
+		edges[i] = dmgm.Edge{U: dmgm.Vertex(i), V: dmgm.Vertex(i + 1), W: float64(i + 1)}
+	}
+	path, err := dmgm.NewGraph(pathN, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathPart, err := partition.Block1D(path, nRanks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfsPart, err := partition.BFS(grid, nRanks, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []instance{
+		{"grid-block1d", grid, gridPart, false},
+		{"grid-bfs", grid, bfsPart, false},
+		{"path-monotone", path, pathPart, true},
+	}
+}
+
+func TestMatchingConformance(t *testing.T) {
+	for _, ins := range buildInstances(t) {
+		t.Run(ins.name, func(t *testing.T) {
+			opt := dmgm.MatchParallelOptions{Deadline: 60 * time.Second}
+			inproc, err := dmgm.MatchParallel(ins.g, ins.part, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcp := overTCP(t, nRanks, func(w *mpi.World) (*dmgm.MatchParallelResult, error) {
+				return dmgm.MatchParallelWorld(w, ins.g, ins.part, opt)
+			})
+			if err := dmgm.VerifyMatching(ins.g, tcp.Mates); err != nil {
+				t.Fatal(err)
+			}
+			for v := range inproc.Mates {
+				if inproc.Mates[v] != tcp.Mates[v] {
+					t.Fatalf("vertex %d: inproc mate %d, tcp mate %d", v, inproc.Mates[v], tcp.Mates[v])
+				}
+			}
+			if inproc.Weight != tcp.Weight {
+				t.Fatalf("weight: inproc %v, tcp %v", inproc.Weight, tcp.Weight)
+			}
+			// The asynchronous protocol's traffic is timing-dependent in
+			// general (REQUEST-skipping races), but on the monotone path the
+			// cascade is sequential and the counts must agree exactly.
+			if ins.deterministic {
+				if inproc.Messages != tcp.Messages || inproc.Bytes != tcp.Bytes {
+					t.Fatalf("traffic: inproc %d msgs/%d B, tcp %d msgs/%d B",
+						inproc.Messages, inproc.Bytes, tcp.Messages, tcp.Bytes)
+				}
+			}
+		})
+	}
+}
+
+func TestColoringConformance(t *testing.T) {
+	for _, ins := range buildInstances(t) {
+		t.Run(ins.name, func(t *testing.T) {
+			// One superstep chunk per round makes the speculative coloring
+			// fully deterministic — colors, rounds, and message counts —
+			// because ghost colors only change in the post-barrier drain.
+			opt := dmgm.ColorParallelOptions{
+				SuperstepSize: ins.g.NumVertices(),
+				Seed:          3,
+				Deadline:      60 * time.Second,
+			}
+			inproc, err := dmgm.ColorParallel(ins.g, ins.part, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcp := overTCP(t, nRanks, func(w *mpi.World) (*dmgm.ColorParallelResult, error) {
+				return dmgm.ColorParallelWorld(w, ins.g, ins.part, opt)
+			})
+			if err := dmgm.VerifyColoring(ins.g, tcp.Colors); err != nil {
+				t.Fatal(err)
+			}
+			for v := range inproc.Colors {
+				if inproc.Colors[v] != tcp.Colors[v] {
+					t.Fatalf("vertex %d: inproc color %d, tcp color %d", v, inproc.Colors[v], tcp.Colors[v])
+				}
+			}
+			if inproc.NumColors != tcp.NumColors || inproc.Rounds != tcp.Rounds || inproc.Conflicts != tcp.Conflicts {
+				t.Fatalf("inproc (colors %d, rounds %d, conflicts %d) vs tcp (%d, %d, %d)",
+					inproc.NumColors, inproc.Rounds, inproc.Conflicts,
+					tcp.NumColors, tcp.Rounds, tcp.Conflicts)
+			}
+			if inproc.Messages != tcp.Messages || inproc.Bytes != tcp.Bytes {
+				t.Fatalf("traffic: inproc %d msgs/%d B, tcp %d msgs/%d B",
+					inproc.Messages, inproc.Bytes, tcp.Messages, tcp.Bytes)
+			}
+		})
+	}
+}
+
+func TestDistance2ColoringConformance(t *testing.T) {
+	ins := buildInstances(t)[0]
+	opt := dmgm.ColorParallelOptions{
+		SuperstepSize: ins.g.NumVertices(),
+		Seed:          3,
+		Deadline:      60 * time.Second,
+	}
+	inproc, err := dmgm.ColorParallelDistance2(ins.g, ins.part, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := overTCP(t, nRanks, func(w *mpi.World) (*dmgm.ColorParallelResult, error) {
+		return dmgm.ColorParallelDistance2World(w, ins.g, ins.part, opt)
+	})
+	if err := dmgm.VerifyColoringDistance2(ins.g, tcp.Colors); err != nil {
+		t.Fatal(err)
+	}
+	for v := range inproc.Colors {
+		if inproc.Colors[v] != tcp.Colors[v] {
+			t.Fatalf("vertex %d: inproc color %d, tcp color %d", v, inproc.Colors[v], tcp.Colors[v])
+		}
+	}
+	if inproc.NumColors != tcp.NumColors {
+		t.Fatalf("inproc %d colors, tcp %d", inproc.NumColors, tcp.NumColors)
+	}
+}
+
+// TestTCPMatchingRepeatable runs the TCP matching twice to confirm the
+// harness itself is stable (fresh mesh, same answer).
+func TestTCPMatchingRepeatable(t *testing.T) {
+	ins := buildInstances(t)[2]
+	opt := dmgm.MatchParallelOptions{Deadline: 60 * time.Second}
+	run := func() *dmgm.MatchParallelResult {
+		return overTCP(t, nRanks, func(w *mpi.World) (*dmgm.MatchParallelResult, error) {
+			return dmgm.MatchParallelWorld(w, ins.g, ins.part, opt)
+		})
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a.Mates) != fmt.Sprint(b.Mates) || a.Messages != b.Messages {
+		t.Fatalf("two tcp runs disagree: %d vs %d messages", a.Messages, b.Messages)
+	}
+}

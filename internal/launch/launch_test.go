@@ -1,0 +1,47 @@
+package launch
+
+import (
+	"net"
+	"testing"
+)
+
+func TestFilterArgs(t *testing.T) {
+	in := []string{"-in", "g.bin", "-launch", "--launch", "-launch=true", "-p", "4", "positional", "-x"}
+	got := FilterArgs(in, "launch")
+	want := []string{"-in", "g.bin", "-p", "4", "positional", "-x"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReserveLoopbackPort(t *testing.T) {
+	addr, err := ReserveLoopbackPort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The address must be immediately bindable again.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("reserved address %s not bindable: %v", addr, err)
+	}
+	ln.Close()
+}
+
+func TestFleetRunsAndStreams(t *testing.T) {
+	// /bin/echo ignores the appended transport flags and exits 0 — this
+	// exercises spawn, pipe streaming, and join without a rendezvous.
+	if code := Fleet("/bin/echo", []string{"hello"}, 3); code != 0 {
+		t.Fatalf("echo fleet exited %d", code)
+	}
+}
+
+func TestFleetPropagatesExitCode(t *testing.T) {
+	if code := Fleet("/bin/sh", []string{"-c", "exit 3"}, 2); code != 3 {
+		t.Fatalf("fleet exit code %d, want 3", code)
+	}
+}

@@ -348,6 +348,7 @@ func (s *matchState) handleBundle(m mpi.Message) {
 	if m.Tag != matchTag {
 		panic(fmt.Sprintf("matching: unexpected tag %d", m.Tag))
 	}
+	defer s.out.Recycle(m.Data) // records alias m.Data; consumed by loop end
 	s.c.ChargeOps(int64(len(m.Data)/recordSize), 0)
 	for _, rec := range mpi.Records(m.Data, recordSize) {
 		kind, srcG, dstG := decodeRecord(rec)

@@ -12,12 +12,23 @@ import "fmt"
 //
 // With bundling disabled (MaxBytes = 1 record), every record travels alone —
 // the configuration the ablation benchmarks compare against.
+//
+// Buffer ownership: a flushed buffer is owned by the receiver (Send's
+// contract), so the sender drops its reference and starts the next bundle
+// from scratch. To avoid steady-state allocation, a rank that has fully
+// consumed an inbound bundle may hand the backing array back via Recycle;
+// Add then reuses it for a future outbound bundle. This is safe precisely
+// because the receiver owns the delivered slice — recycling something the
+// runtime still references is impossible by construction. (Over a wire
+// transport the payload is copied into a frame at Send time and inbound
+// payloads are fresh per-frame allocations, so the same contract holds.)
 type Bundler struct {
 	c          *Comm
 	tag        int
 	recordSize int
 	maxBytes   int
 	bufs       [][]byte
+	free       [][]byte // recycled buffers, reused by Add for new bundles
 	// Flushes counts runtime messages actually sent, for ablation reporting.
 	Flushes int64
 	// Records counts algorithm-level records added.
@@ -54,9 +65,25 @@ func (b *Bundler) Add(to int, rec []byte) {
 		panic(fmt.Sprintf("mpi: record size %d, want %d", len(rec), b.recordSize))
 	}
 	b.Records++
+	if b.bufs[to] == nil {
+		if n := len(b.free); n > 0 {
+			b.bufs[to] = b.free[n-1]
+			b.free = b.free[:n-1]
+		}
+	}
 	b.bufs[to] = append(b.bufs[to], rec...)
 	if len(b.bufs[to])+b.recordSize > b.maxBytes {
 		b.flushOne(to)
+	}
+}
+
+// Recycle donates a fully consumed inbound bundle's backing array to the
+// free list. The caller must not touch buf afterwards; only buffers it owns
+// (i.e. payloads delivered to this rank) may be recycled. Tiny buffers are
+// not worth keeping.
+func (b *Bundler) Recycle(buf []byte) {
+	if cap(buf) >= b.recordSize {
+		b.free = append(b.free, buf[:0])
 	}
 }
 

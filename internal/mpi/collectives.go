@@ -38,6 +38,9 @@ const (
 // AllreduceInt64 combines one int64 per rank with op and returns the result
 // on every rank.
 func (c *Comm) AllreduceInt64(x int64, op ReduceOp) int64 {
+	if !c.world.allLocal {
+		return c.remoteAllreduceInt64(x, op)
+	}
 	w := c.world
 	w.coll.mu.Lock()
 	w.coll.i64[c.rank] = x
@@ -74,15 +77,26 @@ func reduceInt64(xs []int64, op ReduceOp) int64 {
 	return out
 }
 
-// AllreduceFloat64 combines one float64 per rank with op.
+// AllreduceFloat64 combines one float64 per rank with op. The fold runs in
+// rank order on every rank (and on every backend), so the result is bitwise
+// identical everywhere.
 func (c *Comm) AllreduceFloat64(x float64, op ReduceOp) float64 {
+	if !c.world.allLocal {
+		return c.remoteAllreduceFloat64(x, op)
+	}
 	w := c.world
 	w.coll.mu.Lock()
 	w.coll.f64[c.rank] = x
 	w.coll.mu.Unlock()
 	c.Barrier()
-	out := w.coll.f64[0]
-	for _, v := range w.coll.f64[1:] {
+	out := reduceFloat64(w.coll.f64, op)
+	c.Barrier()
+	return out
+}
+
+func reduceFloat64(xs []float64, op ReduceOp) float64 {
+	out := xs[0]
+	for _, v := range xs[1:] {
 		switch op {
 		case OpSum:
 			out += v
@@ -100,7 +114,9 @@ func (c *Comm) AllreduceFloat64(x float64, op ReduceOp) float64 {
 			}
 		}
 	}
-	c.Barrier()
+	if op == OpLor && out != 0 {
+		out = 1
+	}
 	return out
 }
 
@@ -108,6 +124,9 @@ func (c *Comm) AllreduceFloat64(x float64, op ReduceOp) float64 {
 // by rank, identical on every rank. The returned inner slices are shared;
 // callers must not modify them.
 func (c *Comm) Allgather(data []byte) [][]byte {
+	if !c.world.allLocal {
+		return c.remoteAllgather(data)
+	}
 	w := c.world
 	w.coll.mu.Lock()
 	w.coll.bytes[c.rank] = data

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/mpi/transport"
 )
 
 // Message is one point-to-point message.
@@ -38,8 +40,16 @@ type Message struct {
 }
 
 // World owns the mailboxes and collective state for a fixed set of ranks.
+//
+// By default all ranks live in this process (the inproc transport). With
+// WithTransport a World can instead host a subset of the ranks — typically
+// one — of a multi-process job, exchanging messages over the wire; the Comm
+// API is identical either way.
 type World struct {
 	size     int
+	tr       transport.Transport
+	local    []int // ranks hosted by this World instance (ascending)
+	allLocal bool  // every rank is local: shared-memory fast paths apply
 	boxes    []*mailbox
 	stats    []Stats
 	statsMu  []sync.Mutex
@@ -51,6 +61,9 @@ type World struct {
 	// finalVTime records each rank's virtual clock when its Run body
 	// returned (guarded by the corresponding statsMu entry).
 	finalVTime []float64
+
+	runMu sync.Mutex
+	ran   bool
 }
 
 // Option configures a World.
@@ -73,6 +86,15 @@ func WithDeadline(d time.Duration) Option {
 	return func(w *World) { w.deadline = d }
 }
 
+// WithTransport runs the world over the given message transport instead of
+// the default in-process one. The transport's size must match the world's;
+// Run executes the rank function only for the transport's local ranks, so a
+// remote backend (one rank per process) runs exactly one rank here while the
+// collectives and barriers span the whole job over the wire.
+func WithTransport(t transport.Transport) Option {
+	return func(w *World) { w.tr = t }
+}
+
 // NewWorld creates a world with the given number of ranks.
 func NewWorld(size int, opts ...Option) (*World, error) {
 	if size <= 0 {
@@ -87,13 +109,29 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 		finalVTime: make([]float64, size),
 	}
 	w.coll = newCollectives(size)
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox(size)
-	}
 	for _, o := range opts {
 		o(w)
 	}
+	if w.tr == nil {
+		w.tr = transport.NewInproc(size)
+	}
+	if w.tr.Size() != size {
+		return nil, fmt.Errorf("mpi: transport spans %d ranks, world wants %d", w.tr.Size(), size)
+	}
+	w.local = w.tr.Local()
+	w.allLocal = len(w.local) == size
+	for _, r := range w.local {
+		w.boxes[r] = newMailbox(size)
+		w.tr.Register(r, w.boxes[r].sink())
+	}
 	return w, nil
+}
+
+// sink adapts a mailbox into the transport delivery callback.
+func (mb *mailbox) sink() transport.Sink {
+	return func(m transport.Msg) {
+		mb.put(Message{From: m.From, Tag: m.Tag, Data: m.Payload, ArriveV: m.ArriveV})
+	}
 }
 
 // Size reports the number of ranks.
@@ -110,36 +148,58 @@ func Run(size int, fn func(c *Comm) error, opts ...Option) error {
 	return w.Run(fn)
 }
 
-// Run executes fn once per rank of w. A World must not be reused after Run.
+// Run executes fn once per local rank of w. A World must not be reused: a
+// second call returns an error immediately (mailboxes, barriers, and the
+// transport are all in their post-run state).
 func (w *World) Run(fn func(c *Comm) error) error {
-	errs := make([]error, w.size)
-	done := make([]bool, w.size)
+	w.runMu.Lock()
+	ran := w.ran
+	w.ran = true
+	w.runMu.Unlock()
+	if ran {
+		return fmt.Errorf("mpi: World.Run called twice; create a fresh World per run")
+	}
+	if err := w.tr.Start(); err != nil {
+		return fmt.Errorf("mpi: transport start: %w", err)
+	}
+	runErr := w.run(fn)
+	// Close flushes outbound queues (remote backends) and surfaces any
+	// transport-level failure the ranks did not already trip over.
+	if cerr := w.tr.Close(); cerr != nil && runErr == nil {
+		runErr = fmt.Errorf("mpi: transport close: %w", cerr)
+	}
+	return runErr
+}
+
+func (w *World) run(fn func(c *Comm) error) error {
+	errs := make([]error, len(w.local))
+	done := make([]bool, len(w.local))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for r := 0; r < w.size; r++ {
+	for i, r := range w.local {
 		wg.Add(1)
-		go func(rank int) {
+		go func(i, rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
 					mu.Lock()
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					errs[i] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
 					mu.Unlock()
 				}
 				mu.Lock()
-				done[rank] = true
+				done[i] = true
 				mu.Unlock()
 			}()
 			c := &Comm{world: w, rank: rank, rng: w.perturb}
 			if err := fn(c); err != nil {
 				mu.Lock()
-				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+				errs[i] = fmt.Errorf("mpi: rank %d: %w", rank, err)
 				mu.Unlock()
 			}
 			w.statsMu[rank].Lock()
 			w.finalVTime[rank] = c.vclock
 			w.statsMu[rank].Unlock()
-		}(r)
+		}(i, r)
 	}
 	if w.deadline > 0 {
 		finished := make(chan struct{})
@@ -149,9 +209,9 @@ func (w *World) Run(fn func(c *Comm) error) error {
 		case <-time.After(w.deadline):
 			mu.Lock()
 			stuck := []int{}
-			for r, d := range done {
+			for i, d := range done {
 				if !d {
-					stuck = append(stuck, r)
+					stuck = append(stuck, w.local[i])
 				}
 			}
 			// A rank that already failed usually explains why the others
@@ -178,6 +238,14 @@ func (w *World) Run(fn func(c *Comm) error) error {
 		}
 	}
 	return nil
+}
+
+// LocalRanks lists the ranks this World instance hosts — all of them for the
+// default in-process transport, typically one for a remote backend.
+func (w *World) LocalRanks() []int {
+	out := make([]int, len(w.local))
+	copy(out, w.local)
+	return out
 }
 
 // RankStats returns the traffic counters of one rank after Run.
@@ -217,50 +285,91 @@ func (c *Comm) Size() int { return c.world.size }
 
 // Send delivers data to rank to with the given tag. It never blocks. The
 // data slice is owned by the receiver after the call; the sender must not
-// modify it.
+// modify it. Negative tags are reserved for the runtime's own traffic (the
+// over-the-wire collectives) and are rejected here so that reserved and user
+// messages can never collide.
 func (c *Comm) Send(to, tag int, data []byte) {
 	if to < 0 || to >= c.world.size {
 		panic(fmt.Sprintf("mpi: rank %d sends to invalid rank %d", c.rank, to))
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: rank %d sends tag %d; negative tags are reserved for the runtime", c.rank, tag))
 	}
 	mu := &c.world.statsMu[c.rank]
 	mu.Lock()
 	c.world.stats[c.rank].SentMsgs++
 	c.world.stats[c.rank].SentBytes += int64(len(data))
 	mu.Unlock()
-	c.world.boxes[to].put(Message{From: c.rank, Tag: tag, Data: data, ArriveV: c.stampSend(len(data))})
+	c.send(transport.Msg{From: c.rank, To: to, Tag: tag, ArriveV: c.stampSend(len(data)), Payload: data})
 }
 
-// Recv blocks until a message (any source, any tag) arrives and returns it.
+// send ships a message through the transport. A transport error means the
+// job is broken (a peer died mid-run), which no algorithm here can recover
+// from, so it surfaces as a rank panic that Run captures.
+func (c *Comm) send(m transport.Msg) {
+	if err := c.world.tr.Send(m); err != nil {
+		panic(fmt.Sprintf("mpi: rank %d send to %d: %v", c.rank, m.To, err))
+	}
+}
+
+// Recv blocks until a user message (any source, any non-negative tag)
+// arrives and returns it. Runtime-internal traffic (a peer racing ahead into
+// the next collective) is stashed for the collective that expects it, never
+// surfaced here.
 func (c *Comm) Recv() Message {
-	if len(c.stash) > 0 {
-		m := c.stash[0]
-		c.stash = c.stash[1:]
+	if m, ok := c.takeStashedUser(); ok {
 		c.observeArrival(m)
 		return m
 	}
-	m, _ := c.world.boxes[c.rank].get(true, c.nextPick())
-	c.countRecv(m)
-	c.observeArrival(m)
-	return m
+	for {
+		m, _ := c.world.boxes[c.rank].get(true, c.nextPick())
+		c.countRecv(m)
+		if m.Tag < 0 {
+			c.stash = append(c.stash, m)
+			continue
+		}
+		c.observeArrival(m)
+		return m
+	}
 }
 
-// TryRecv returns a pending message if one is available, without blocking.
+// TryRecv returns a pending user message if one is available, without
+// blocking.
 func (c *Comm) TryRecv() (Message, bool) {
-	if len(c.stash) > 0 {
-		m := c.stash[0]
-		c.stash = c.stash[1:]
+	if m, ok := c.takeStashedUser(); ok {
 		c.observeArrival(m)
 		return m, true
 	}
-	m, ok := c.world.boxes[c.rank].get(false, c.nextPick())
-	if ok {
+	for {
+		m, ok := c.world.boxes[c.rank].get(false, c.nextPick())
+		if !ok {
+			return Message{}, false
+		}
 		c.countRecv(m)
+		if m.Tag < 0 {
+			c.stash = append(c.stash, m)
+			continue
+		}
 		c.observeArrival(m)
+		return m, true
 	}
-	return m, ok
+}
+
+// takeStashedUser pops the oldest stashed user (non-negative tag) message.
+func (c *Comm) takeStashedUser() (Message, bool) {
+	for i, m := range c.stash {
+		if m.Tag >= 0 {
+			c.stash = append(c.stash[:i], c.stash[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
 }
 
 func (c *Comm) countRecv(m Message) {
+	if m.Tag < 0 {
+		return // runtime-internal traffic is not part of the algorithm's cost
+	}
 	mu := &c.world.statsMu[c.rank]
 	mu.Lock()
 	c.world.stats[c.rank].RecvMsgs++
@@ -283,7 +392,18 @@ func (c *Comm) nextPick() uint64 {
 
 // Barrier blocks until every rank has entered it. In virtual-time mode the
 // ranks' clocks synchronize to the maximum plus the σ barrier cost.
+//
+// Barrier is also the runtime's delivery fence: everything sent to this rank
+// before the senders entered the barrier is in this rank's mailbox (or stash)
+// once Barrier returns. In-process that follows from sends being synchronous
+// hand-offs; over the wire it follows from per-pair FIFO — the remote barrier
+// exchanges a message with every peer, and receiving a peer's barrier message
+// means everything it sent earlier has already been delivered.
 func (c *Comm) Barrier() {
+	if !c.world.allLocal {
+		c.remoteBarrier()
+		return
+	}
 	max := c.world.barrier.await(c.vclock)
 	if vt := c.world.vt; vt != nil {
 		c.vclock = max + vt.Sync

@@ -3,6 +3,7 @@ package mpi
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -620,6 +621,163 @@ func TestVirtualTimeIdleWaitIsFree(t *testing.T) {
 		}
 		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainTagStatsAccounting checks that dropped bundles still count as
+// received traffic: DrainTag is a receive-and-discard, not a rollback, so the
+// global sent/received balance holds after a drain.
+func TestDrainTagStatsAccounting(t *testing.T) {
+	w, err := NewWorld(2, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		other := 1 - c.Rank()
+		c.Send(other, 5, make([]byte, 40)) // dropped from the mailbox
+		c.Send(other, 7, make([]byte, 8))  // stashed by Alltoallv, then dropped
+		chunks := make([][]byte, 2)
+		chunks[other] = []byte{1}
+		c.Alltoallv(9, chunks) // forces both pending messages into the stash
+		if n := c.DrainTag(5); n != 1 {
+			return fmt.Errorf("drained %d tag-5, want 1", n)
+		}
+		if n := c.DrainTag(7); n != 1 {
+			return fmt.Errorf("drained %d tag-7, want 1", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := w.TotalStats()
+	if total.SentMsgs != total.RecvMsgs {
+		t.Fatalf("message imbalance after drains: %v", total)
+	}
+	if total.SentBytes != total.RecvBytes {
+		t.Fatalf("byte imbalance after drains: %v", total)
+	}
+}
+
+// TestDrainTagStatsMailboxPath drains messages straight from the mailbox
+// (never stashed) and checks the same accounting.
+func TestDrainTagStatsMailboxPath(t *testing.T) {
+	w, err := NewWorld(2, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		other := 1 - c.Rank()
+		for i := 0; i < 3; i++ {
+			c.Send(other, 5, make([]byte, 10))
+		}
+		c.Barrier()
+		if n := c.DrainTag(5); n != 3 {
+			return fmt.Errorf("drained %d, want 3", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := w.TotalStats()
+	if total.SentMsgs != 6 || total.RecvMsgs != 6 || total.SentBytes != 60 || total.RecvBytes != 60 {
+		t.Fatalf("stats %v, want 6 msgs / 60 B each way", total)
+	}
+}
+
+// TestDeadlineReportsStuckRanks checks the watchdog names exactly the ranks
+// that were still running.
+func TestDeadlineReportsStuckRanks(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 1 || c.Rank() == 3 {
+			c.Recv() // nobody ever sends
+		}
+		return nil
+	}, WithDeadline(200*time.Millisecond))
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+	if !strings.Contains(err.Error(), "[1 3]") {
+		t.Fatalf("error does not name ranks 1 and 3: %v", err)
+	}
+}
+
+// TestDeadlineReportsFirstFailure checks that when one rank fails and the
+// rest consequently hang, the watchdog surfaces the root-cause error.
+func TestDeadlineReportsFirstFailure(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return fmt.Errorf("rank 0 exploded")
+		}
+		c.Recv() // waits forever: rank 0 died before sending
+		return nil
+	}, WithDeadline(200*time.Millisecond))
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+	if !strings.Contains(err.Error(), "rank 0 exploded") {
+		t.Fatalf("error does not carry the first failure: %v", err)
+	}
+	if !strings.Contains(err.Error(), "[1]") {
+		t.Fatalf("error does not name the stuck rank: %v", err)
+	}
+}
+
+// TestWorldRunTwiceFails checks the reuse guard: mailboxes and barriers are
+// in their post-run state, so a second Run must be refused, not misbehave.
+func TestWorldRunTwiceFails(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(c *Comm) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("second Run succeeded; want an error")
+	}
+}
+
+// TestNegativeTagReserved checks that user sends cannot collide with the
+// runtime's reserved internal tags.
+func TestNegativeTagReserved(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, -1, nil)
+		}
+		return nil
+	}, WithDeadline(5*time.Second))
+	if err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("negative-tag send not rejected: %v", err)
+	}
+}
+
+// TestBundlerRecycleReuses checks the free-list: a recycled inbound buffer
+// backs a later outbound bundle instead of a fresh allocation.
+func TestBundlerRecycleReuses(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		b := NewBundler(c, 3, 8, 64)
+		donated := make([]byte, 0, 128)
+		b.Recycle(donated[:0])
+		rec := make([]byte, 8)
+		b.Add(0, rec) // self-destined; must reuse the donated array
+		if len(b.bufs[0]) != 8 || cap(b.bufs[0]) != 128 {
+			return fmt.Errorf("buffer len %d cap %d; donated array not reused", len(b.bufs[0]), cap(b.bufs[0]))
+		}
+		b.Recycle(make([]byte, 4)) // below record size: must be ignored
+		if len(b.free) != 0 {
+			return fmt.Errorf("undersized buffer kept on free list")
+		}
+		b.Flush()
+		m := c.Recv()
+		if len(m.Data) != 8 {
+			return fmt.Errorf("bundle of %d bytes", len(m.Data))
+		}
+		return nil
+	}, WithDeadline(5*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}

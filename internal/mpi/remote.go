@@ -1,0 +1,143 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/mpi/transport"
+)
+
+// Over-the-wire collectives. When a World does not host every rank (a remote
+// transport backend), the shared-memory barrier and reduction slots cannot be
+// used; the same operations are built here from point-to-point messages on
+// reserved negative tags. Reserved traffic is invisible to the Stats counters
+// on both ends (see Send/countRecv), so an algorithm's message counts are
+// identical across backends — the in-process collectives never touched the
+// counters either.
+//
+// Every collective is a symmetric all-to-all exchange: each rank sends its
+// contribution to every peer, then collects exactly one reserved-tag message
+// per peer. The local fold runs in rank order on every rank, so reduction
+// results — including floating-point ones — are bitwise identical everywhere
+// and match the shared-slot implementations.
+const (
+	tagBarrier = -1 // payload: the sender's virtual clock
+	tagReduceI = -2 // payload: one int64 contribution
+	tagReduceF = -3 // payload: one float64 contribution
+	tagGather  = -4 // payload: the sender's Allgather bytes
+)
+
+// sendRaw ships a runtime-internal message: no stats, no virtual-time
+// stamping (the modeled machine's collectives are charged via Sync, not α–β).
+func (c *Comm) sendRaw(to, tag int, data []byte) {
+	c.send(transport.Msg{From: c.rank, To: to, Tag: tag, Payload: data})
+}
+
+// exchange performs one all-to-all round on a reserved tag and returns every
+// rank's payload indexed by rank (this rank's own entry is its input).
+//
+// Collection is per-peer: recvFromTagged pops only the named sender's queue,
+// so overlapping rounds cannot steal each other's messages — per-pair FIFO
+// guarantees the oldest matching message is taken first, and anything else
+// popped on the way lands in the stash for later receives.
+func (c *Comm) exchange(tag int, payload []byte) [][]byte {
+	for to := 0; to < c.world.size; to++ {
+		if to != c.rank {
+			c.sendRaw(to, tag, payload)
+		}
+	}
+	out := make([][]byte, c.world.size)
+	out[c.rank] = payload
+	for from := 0; from < c.world.size; from++ {
+		if from != c.rank {
+			out[from] = c.recvFromTagged(from, tag).Data
+		}
+	}
+	return out
+}
+
+// recvFromTagged blocks for the oldest message from one specific sender with
+// the given tag. The stash is scanned front-to-back (oldest first); further
+// messages are popped from that sender's mailbox queue only, preserving
+// per-pair FIFO, with non-matching ones stashed.
+func (c *Comm) recvFromTagged(from, tag int) Message {
+	for i, m := range c.stash {
+		if m.From == from && m.Tag == tag {
+			c.stash = append(c.stash[:i], c.stash[i+1:]...)
+			return m
+		}
+	}
+	for {
+		m := c.world.boxes[c.rank].getFrom(from)
+		c.countRecv(m)
+		if m.Tag == tag {
+			return m
+		}
+		c.observeArrival(m)
+		c.stash = append(c.stash, m)
+	}
+}
+
+// getFrom blocks until a message from the given sender is pending and pops
+// the oldest one. Only the owning rank's goroutine receives, so the single
+// condition variable shared with get is safe.
+func (mb *mailbox) getFrom(from int) Message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queues[from]) == 0 {
+		mb.cond.Wait()
+	}
+	q := mb.queues[from]
+	m := q[0]
+	mb.queues[from] = q[1:]
+	mb.pending--
+	return m
+}
+
+// remoteBarrier implements Barrier over point-to-point messages: exchange
+// virtual clocks with every peer and max-reduce. The fence property (see
+// Barrier) follows from collecting one barrier message per peer over FIFO
+// connections.
+func (c *Comm) remoteBarrier() {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(c.vclock))
+	clocks := c.exchange(tagBarrier, b[:])
+	if vt := c.world.vt; vt != nil {
+		max := c.vclock
+		for _, p := range clocks {
+			if v := math.Float64frombits(binary.BigEndian.Uint64(p)); v > max {
+				max = v
+			}
+		}
+		c.vclock = max + vt.Sync
+	}
+}
+
+// remoteAllreduceInt64 implements AllreduceInt64 over the wire.
+func (c *Comm) remoteAllreduceInt64(x int64, op ReduceOp) int64 {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(x))
+	parts := c.exchange(tagReduceI, b[:])
+	xs := make([]int64, len(parts))
+	for r, p := range parts {
+		xs[r] = int64(binary.BigEndian.Uint64(p))
+	}
+	return reduceInt64(xs, op)
+}
+
+// remoteAllreduceFloat64 implements AllreduceFloat64 over the wire.
+func (c *Comm) remoteAllreduceFloat64(x float64, op ReduceOp) float64 {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(x))
+	parts := c.exchange(tagReduceF, b[:])
+	xs := make([]float64, len(parts))
+	for r, p := range parts {
+		xs[r] = math.Float64frombits(binary.BigEndian.Uint64(p))
+	}
+	return reduceFloat64(xs, op)
+}
+
+// remoteAllgather implements Allgather over the wire.
+func (c *Comm) remoteAllgather(data []byte) [][]byte {
+	return c.exchange(tagGather, data)
+}

@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format. Every frame is
+//
+//	uint32  length of the rest of the frame (big endian)
+//	byte    kind
+//	...     kind-specific body
+//
+// Kinds:
+//
+//	hello    — first frame on a freshly dialed data connection:
+//	           from int32 | to int32. Identifies the rank pair.
+//	register — first frame on a registry connection (rank-0 rendezvous):
+//	           rank int32 | addr string.
+//	table    — registry reply: count int32 | count × (addr string).
+//	data     — one runtime message:
+//	           to int32 | tag int64 | arriveV float64 bits | payload.
+//
+// Strings are uint16 length + bytes. Integers are big endian. The data
+// frame's sender is implied by the connection (established by hello), so it
+// does not travel; `to` does, as a cheap integrity check against crossed
+// connections.
+const (
+	frameHello byte = iota + 1
+	frameRegister
+	frameTable
+	frameData
+)
+
+// maxFrame bounds a frame body so a corrupted length prefix cannot force a
+// giant allocation. 1 GiB is far above any bundle the algorithms ship.
+const maxFrame = 1 << 30
+
+// dataHeaderLen is the fixed part of a data frame body: to(4) + tag(8) +
+// arriveV(8).
+const dataHeaderLen = 4 + 8 + 8
+
+// appendFrame appends a complete frame (length prefix, kind, body) to dst.
+func appendFrame(dst []byte, kind byte, body ...[]byte) []byte {
+	n := 1
+	for _, b := range body {
+		n += len(b)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, kind)
+	for _, b := range body {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// encodeData renders a data frame for m (sender implied by the connection).
+func encodeData(m Msg) []byte {
+	buf := make([]byte, 0, 4+1+dataHeaderLen+len(m.Payload))
+	var hdr [dataHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(m.To))
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(m.Tag))
+	binary.BigEndian.PutUint64(hdr[12:20], math.Float64bits(m.ArriveV))
+	return appendFrame(buf, frameData, hdr[:], m.Payload)
+}
+
+// decodeData parses a data frame body received from rank `from`.
+func decodeData(from int, body []byte) (Msg, error) {
+	if len(body) < dataHeaderLen {
+		return Msg{}, fmt.Errorf("transport: short data frame (%d bytes)", len(body))
+	}
+	m := Msg{
+		From:    from,
+		To:      int(int32(binary.BigEndian.Uint32(body[0:4]))),
+		Tag:     int(int64(binary.BigEndian.Uint64(body[4:12]))),
+		ArriveV: math.Float64frombits(binary.BigEndian.Uint64(body[12:20])),
+	}
+	if len(body) > dataHeaderLen {
+		m.Payload = body[dataHeaderLen:]
+	}
+	return m, nil
+}
+
+// encodeHello renders the pair-identification frame.
+func encodeHello(from, to int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(from))
+	binary.BigEndian.PutUint32(b[4:8], uint32(to))
+	return appendFrame(nil, frameHello, b[:])
+}
+
+func decodeHello(body []byte) (from, to int, err error) {
+	if len(body) != 8 {
+		return 0, 0, fmt.Errorf("transport: malformed hello (%d bytes)", len(body))
+	}
+	return int(int32(binary.BigEndian.Uint32(body[0:4]))),
+		int(int32(binary.BigEndian.Uint32(body[4:8]))), nil
+}
+
+// encodeRegister renders a registry registration: this rank listens at addr.
+func encodeRegister(rank int, addr string) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(rank))
+	return appendFrame(nil, frameRegister, b[:], appendString(nil, addr))
+}
+
+func decodeRegister(body []byte) (rank int, addr string, err error) {
+	if len(body) < 4 {
+		return 0, "", fmt.Errorf("transport: malformed register (%d bytes)", len(body))
+	}
+	rank = int(int32(binary.BigEndian.Uint32(body[0:4])))
+	addr, rest, err := readString(body[4:])
+	if err != nil || len(rest) != 0 {
+		return 0, "", fmt.Errorf("transport: malformed register body")
+	}
+	return rank, addr, nil
+}
+
+// encodeTable renders the registry's address-table broadcast.
+func encodeTable(addrs []string) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(len(addrs)))
+	body := b[:]
+	for _, a := range addrs {
+		body = appendString(body, a)
+	}
+	return appendFrame(nil, frameTable, body)
+}
+
+func decodeTable(body []byte) ([]string, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("transport: malformed table (%d bytes)", len(body))
+	}
+	n := int(int32(binary.BigEndian.Uint32(body[0:4])))
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("transport: implausible table size %d", n)
+	}
+	rest := body[4:]
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		var err error
+		addrs[i], rest, err = readString(rest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("transport: trailing bytes in table")
+	}
+	return addrs, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("transport: truncated string")
+	}
+	n := int(binary.BigEndian.Uint16(b[0:2]))
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("transport: truncated string body")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// readFrame reads one complete frame from r.
+func readFrame(r io.Reader) (kind byte, body []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err // io.EOF here means a clean peer shutdown
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("transport: implausible frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("transport: truncated frame: %w", err)
+	}
+	return buf[0], buf[1:], nil
+}
