@@ -9,9 +9,12 @@
 //	dmgm-color -in graph.bin -p 16 -algo jp
 //	dmgm-color -in graph.bin -p 4 -launch        # 4 local processes over TCP
 //	dmgm-color -in graph.bin -p 4 -transport tcp -rank 2 -registry host:9000
+//	dmgm-color -in graph.bin -p 4 -launch -trace out.json   # Chrome trace
+//	dmgm-color -in graph.bin -p 4 -json                     # machine-readable
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,14 +26,28 @@ import (
 	"repro/internal/graph"
 	"repro/internal/launch"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/partition"
 
 	"repro/dmgm"
 )
 
+// summary is the -json result record, one object on stdout.
+type summary struct {
+	Algorithm      string  `json:"algorithm"`
+	Ranks          int     `json:"ranks"`
+	Colors         int     `json:"colors"`
+	Rounds         int     `json:"rounds,omitempty"`
+	Conflicts      int64   `json:"conflicts,omitempty"`
+	Messages       int64   `json:"messages"`
+	Bytes          int64   `json:"bytes"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
 func main() {
 	tf := launch.RegisterFlags()
+	of := obs.RegisterFlags()
 	var (
 		in        = flag.String("in", "", "input graph path (required)")
 		ordName   = flag.String("order", "natural", "sequential ordering: natural | random | largest-first | smallest-last | incidence-degree | saturation-degree")
@@ -43,8 +60,12 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "seed")
 		outPath   = flag.String("o", "", "write the coloring to this file (verifiable with dmgm-verify)")
 		distance2 = flag.Bool("distance2", false, "compute a distance-2 coloring (sequential or distributed)")
+		jsonOut   = flag.Bool("json", false, "print the result summary as one JSON object on stdout (progress goes to stderr)")
 	)
 	flag.Parse()
+	// With -json, stdout carries exactly one JSON object; narration moves to
+	// stderr so `dmgm-color -json | jq` just works.
+	info := infoPrinter(*jsonOut)
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "dmgm-color: -in is required")
 		os.Exit(2)
@@ -58,20 +79,36 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dmgm-color: -launch needs -p > 1")
 			os.Exit(2)
 		}
-		os.Exit(launch.Local(*p, "launch"))
+		code := launch.Local(*p, "launch")
+		if err := of.Merge(*p); err != nil {
+			fmt.Fprintf(os.Stderr, "dmgm-color: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
 	}
 	if tf.Remote() && *p <= 1 {
 		fmt.Fprintln(os.Stderr, "dmgm-color: -transport tcp needs -p > 1")
 		os.Exit(2)
 	}
+	if of.Pprof != "" {
+		addr, err := obs.ServePprof(of.PprofAddr(tf.Rank, tf.Remote()))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmgm-color: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	}
+	readStart := time.Now()
 	g, err := graph.ReadFile(*in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dmgm-color: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("input: %s\n", graph.Summarize(g))
+	info("input: %s\n", graph.Summarize(g))
 	lo, hi := coloring.Bounds(g)
-	fmt.Printf("chromatic bounds: [%d, %d]\n", lo, hi)
+	info("chromatic bounds: [%d, %d]\n", lo, hi)
 
 	if *p <= 1 {
 		o, err := order.ParseOrdering(*ordName)
@@ -100,12 +137,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dmgm-color: verification failed: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("algorithm: sequential greedy (distance2=%v), %s order\ncolors: %d\ntime: %v\n",
-			*distance2, o, c.NumColors(), elapsed)
+		if *jsonOut {
+			printJSON(summary{
+				Algorithm: "sequential-greedy", Ranks: 1,
+				Colors:         c.NumColors(),
+				ElapsedSeconds: elapsed.Seconds(),
+			})
+		} else {
+			fmt.Printf("algorithm: sequential greedy (distance2=%v), %s order\ncolors: %d\ntime: %v\n",
+				*distance2, o, c.NumColors(), elapsed)
+		}
 		writeColors(*outPath, c)
 		return
 	}
 
+	partStart := time.Now()
 	var part *partition.Partition
 	switch *method {
 	case "multilevel":
@@ -123,10 +169,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmgm-color: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("partition: %s\n", partition.Measure(g, part))
+	info("partition: %s\n", partition.Measure(g, part))
 
 	if *algo == "jp" {
-		runJP(g, part, *seed)
+		runJP(g, part, *seed, *jsonOut)
 		return
 	}
 	var mode coloring.CommMode
@@ -141,7 +187,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmgm-color: unknown comm mode %q\n", *comm)
 		os.Exit(2)
 	}
-	w, err := tf.World(part.P, mpi.WithDeadline(10*time.Minute))
+	obsr := of.NewObserver(part.P)
+	// The observer is sized by the partition, so the driver-side phases that
+	// preceded it are recorded retroactively.
+	obsr.Driver().Observe("driver.read_graph", readStart, int64(g.NumVertices()))
+	obsr.Driver().Observe("driver.partition", partStart, int64(part.P))
+
+	w, err := tf.World(part.P, mpi.WithDeadline(10*time.Minute), mpi.WithObserver(obsr))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dmgm-color: %v\n", err)
 		os.Exit(1)
@@ -162,10 +214,14 @@ func main() {
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
+	if werr := of.Write(obsr, w.LocalRanks(), tf.Rank, tf.Remote()); werr != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-color: %v\n", werr)
+		os.Exit(1)
+	}
 	if res == nil {
 		// A tcp worker that does not host rank 0: the gathered result lives
 		// on rank 0's process, this one just reports completion.
-		fmt.Printf("rank %d: done in %v\n", tf.Rank, elapsed)
+		info("rank %d: done in %v\n", tf.Rank, elapsed)
 		return
 	}
 	if *distance2 {
@@ -177,10 +233,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmgm-color: verification failed: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("algorithm: speculative framework (distance2=%v), %d ranks, s=%d, comm=%s\n", *distance2, *p, *superstep, mode)
-	fmt.Printf("colors: %d\nrounds: %d\nconflicts: %d\nmessages: %d (%d bytes)\nhost wall: %v\n",
-		res.NumColors, res.Rounds, res.Conflicts, res.Messages, res.Bytes, elapsed)
+	if *jsonOut {
+		printJSON(summary{
+			Algorithm: "speculative-" + mode.String(), Ranks: *p,
+			Colors: res.NumColors, Rounds: res.Rounds, Conflicts: res.Conflicts,
+			Messages: res.Messages, Bytes: res.Bytes,
+			ElapsedSeconds: elapsed.Seconds(),
+		})
+	} else {
+		fmt.Printf("algorithm: speculative framework (distance2=%v), %d ranks, s=%d, comm=%s\n", *distance2, *p, *superstep, mode)
+		fmt.Printf("colors: %d\nrounds: %d\nconflicts: %d\nmessages: %d (%d bytes)\nhost wall: %v\n",
+			res.NumColors, res.Rounds, res.Conflicts, res.Messages, res.Bytes, elapsed)
+	}
 	writeColors(*outPath, res.Colors)
+}
+
+// infoPrinter routes narration to stdout normally, stderr under -json.
+func infoPrinter(jsonOut bool) func(format string, args ...any) {
+	w := os.Stdout
+	if jsonOut {
+		w = os.Stderr
+	}
+	return func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-color: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // writeColors saves the coloring when an output path was given.
@@ -194,7 +276,7 @@ func writeColors(path string, c coloring.Colors) {
 	}
 }
 
-func runJP(g *graph.Graph, part *partition.Partition, seed uint64) {
+func runJP(g *graph.Graph, part *partition.Partition, seed uint64, jsonOut bool) {
 	shares, err := dgraph.Distribute(g, part)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dmgm-color: %v\n", err)
@@ -226,6 +308,14 @@ func runJP(g *graph.Graph, part *partition.Partition, seed uint64) {
 	if err := colors.Verify(g); err != nil {
 		fmt.Fprintf(os.Stderr, "dmgm-color: verification failed: %v\n", err)
 		os.Exit(1)
+	}
+	if jsonOut {
+		printJSON(summary{
+			Algorithm: "jones-plassmann", Ranks: part.P,
+			Colors: results[0].NumColors, Rounds: results[0].Rounds,
+			ElapsedSeconds: elapsed.Seconds(),
+		})
+		return
 	}
 	fmt.Printf("algorithm: Jones-Plassmann, %d ranks\ncolors: %d\nrounds: %d\nhost wall: %v\n",
 		part.P, results[0].NumColors, results[0].Rounds, elapsed)

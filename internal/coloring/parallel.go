@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dgraph"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // CommMode selects the communication scheme of the framework (Section 4.2).
@@ -207,6 +208,7 @@ type colorState struct {
 	out       *mpi.Bundler
 	rounds    int
 	conflicts int64
+	tr        *obs.Tracer
 }
 
 func (s *colorState) run() error {
@@ -236,6 +238,7 @@ func (s *colorState) run() error {
 	}
 	s.buildVertexRanks()
 	s.out = mpi.NewBundler(s.c, colorTag, colorRecSize, 0)
+	s.tr = s.c.Tracer()
 
 	// U starts as all owned vertices in the configured order — or, in the
 	// hybrid mode, as the boundary only, the interior having been colored by
@@ -256,6 +259,7 @@ func (s *colorState) run() error {
 		if s.rounds > s.opt.MaxRounds {
 			return fmt.Errorf("coloring: no convergence after %d rounds", s.opt.MaxRounds)
 		}
+		roundTok := s.tr.Begin("color.round")
 		// Tentative coloring in supersteps.
 		for lo := 0; lo < len(u); lo += s.opt.SuperstepSize {
 			hi := lo + s.opt.SuperstepSize
@@ -263,6 +267,7 @@ func (s *colorState) run() error {
 				hi = len(u)
 			}
 			chunk := u[lo:hi]
+			stepTok := s.tr.BeginDetail("color.superstep")
 			var chunkArcs int64
 			for _, v := range chunk {
 				s.colors[v] = s.pickColor(v)
@@ -271,6 +276,7 @@ func (s *colorState) run() error {
 			s.c.ChargeOps(chunkArcs, int64(len(chunk)))
 			s.shipChunk(chunk)
 			s.drain()
+			s.tr.EndN(stepTok, int64(len(chunk)))
 		}
 		// Round boundary: all traffic sent before the barrier is in our
 		// mailbox after it; drain to gather complete neighbor information.
@@ -278,6 +284,7 @@ func (s *colorState) run() error {
 		s.drain()
 
 		// Communication-free conflict detection.
+		detectTok := s.tr.BeginDetail("color.detect")
 		recolor := u[:0]
 		var detectArcs int64
 		for _, v := range u {
@@ -291,7 +298,10 @@ func (s *colorState) run() error {
 		s.c.ChargeOps(detectArcs, 0)
 		u = recolor
 		s.conflicts += int64(len(u))
-		if s.c.AllreduceInt64(int64(len(u)), mpi.OpSum) == 0 {
+		s.tr.EndN(detectTok, int64(len(u)))
+		done := s.c.AllreduceInt64(int64(len(u)), mpi.OpSum) == 0
+		s.tr.EndN(roundTok, int64(s.rounds))
+		if done {
 			return nil
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/mpi"
 	"repro/internal/mpi/transport"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -206,6 +207,65 @@ func TestDistance2ColoringConformance(t *testing.T) {
 	}
 	if inproc.NumColors != tcp.NumColors {
 		t.Fatalf("inproc %d colors, tcp %d", inproc.NumColors, tcp.NumColors)
+	}
+}
+
+// TestTracingInvariance checks that observability is purely passive: the
+// same instance run with a full observer (tracing + metrics) must produce
+// results byte-identical to an unobserved run — matching and coloring alike.
+func TestTracingInvariance(t *testing.T) {
+	for _, ins := range buildInstances(t) {
+		t.Run(ins.name, func(t *testing.T) {
+			runMatch := func(opts ...mpi.Option) *dmgm.MatchParallelResult {
+				w, err := mpi.NewWorld(nRanks, append([]mpi.Option{mpi.WithDeadline(60 * time.Second)}, opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := dmgm.MatchParallelWorld(w, ins.g, ins.part, dmgm.MatchParallelOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			obsr := obs.NewObserver(nRanks, 0)
+			plain, traced := runMatch(), runMatch(mpi.WithObserver(obsr))
+			if fmt.Sprint(plain.Mates) != fmt.Sprint(traced.Mates) || plain.Weight != traced.Weight {
+				t.Fatalf("matching differs with tracing on: weight %v vs %v", plain.Weight, traced.Weight)
+			}
+			if ins.deterministic && (plain.Messages != traced.Messages || plain.Bytes != traced.Bytes) {
+				t.Fatalf("matching traffic differs with tracing on: %d/%d vs %d/%d",
+					plain.Messages, plain.Bytes, traced.Messages, traced.Bytes)
+			}
+			// The observer must actually have recorded the run it rode along.
+			if len(obsr.Tracer(0).Spans()) == 0 {
+				t.Fatal("traced run recorded no spans")
+			}
+
+			copt := dmgm.ColorParallelOptions{
+				SuperstepSize: ins.g.NumVertices(),
+				Seed:          3,
+				Deadline:      60 * time.Second,
+			}
+			runColor := func(opts ...mpi.Option) *dmgm.ColorParallelResult {
+				w, err := mpi.NewWorld(nRanks, append([]mpi.Option{mpi.WithDeadline(60 * time.Second)}, opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := dmgm.ColorParallelWorld(w, ins.g, ins.part, copt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			cplain, ctraced := runColor(), runColor(mpi.WithObserver(obs.NewObserver(nRanks, 0)))
+			if fmt.Sprint(cplain.Colors) != fmt.Sprint(ctraced.Colors) ||
+				cplain.NumColors != ctraced.NumColors || cplain.Rounds != ctraced.Rounds ||
+				cplain.Messages != ctraced.Messages || cplain.Bytes != ctraced.Bytes {
+				t.Fatalf("coloring differs with tracing on: (%d colors, %d rounds, %d msgs) vs (%d, %d, %d)",
+					cplain.NumColors, cplain.Rounds, cplain.Messages,
+					ctraced.NumColors, ctraced.Rounds, ctraced.Messages)
+			}
+		})
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dgraph"
 	"repro/internal/matching"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 )
 
@@ -45,12 +46,26 @@ func (m *Measurement) MaxRank() perfmodel.Profile {
 	return out
 }
 
-// structuralProfile seeds a rank profile with the share's structure; traffic
-// counters are filled in after the run.
+// structuralProfile seeds a rank profile with the share's structure. It is
+// used only when no run happened (SynthesizeProfiles); measured runs read the
+// actual operation counts the algorithms charged into the observability
+// registry instead (measuredProfile).
 func structuralProfile(d *dgraph.DistGraph) perfmodel.Profile {
 	return perfmodel.Profile{
 		VertexOps: int64(d.NLocal),
 		EdgeOps:   d.Xadj[d.NLocal],
+	}
+}
+
+// measuredProfile reads rank r's compute profile from the registry the world
+// populated during the run: mpi.vertex_ops / mpi.edge_ops carry exactly what
+// the algorithm charged via ChargeOps (init scans, recomputations, bundle
+// processing), which is what the α–β–γ model should price — not the static
+// share structure the old seeding approximated it with.
+func measuredProfile(reg *obs.Registry, p, r int) perfmodel.Profile {
+	return perfmodel.Profile{
+		VertexOps: reg.Vec("mpi.vertex_ops", p).At(r).Load(),
+		EdgeOps:   reg.Vec("mpi.edge_ops", p).At(r).Load(),
 	}
 }
 
@@ -70,8 +85,10 @@ func vtimeOf(m perfmodel.Machine) mpi.VirtualTime {
 // collects profiles. shares[r] must be rank r's view of one common graph.
 func MeasureMatching(shares []*dgraph.DistGraph, opt matching.ParallelOptions) (*Measurement, error) {
 	p := len(shares)
+	obsr := obs.NewObserver(p, -1) // metrics only: op counters for the profiles
 	w, err := mpi.NewWorld(p, mpi.WithDeadline(10*time.Minute),
-		mpi.WithVirtualTime(vtimeOf(perfmodel.BlueGeneP())))
+		mpi.WithVirtualTime(vtimeOf(perfmodel.BlueGeneP())),
+		mpi.WithObserver(obsr))
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +111,7 @@ func MeasureMatching(shares []*dgraph.DistGraph, opt matching.ParallelOptions) (
 	m := &Measurement{P: p, WallHost: time.Since(start), Ranks: make([]perfmodel.Profile, p)}
 	m.VirtualSeconds = w.MaxVirtualTime()
 	for r := 0; r < p; r++ {
-		prof := structuralProfile(shares[r])
+		prof := measuredProfile(obsr.Registry(), p, r)
 		st := w.RankStats(r)
 		prof.Msgs = st.SentMsgs
 		prof.Bytes = st.SentBytes
@@ -111,8 +128,10 @@ func MeasureMatching(shares []*dgraph.DistGraph, opt matching.ParallelOptions) (
 // MeasureColoring runs the distributed coloring over pre-built shares.
 func MeasureColoring(shares []*dgraph.DistGraph, opt coloring.ParallelOptions) (*Measurement, error) {
 	p := len(shares)
+	obsr := obs.NewObserver(p, -1) // metrics only: op counters for the profiles
 	w, err := mpi.NewWorld(p, mpi.WithDeadline(10*time.Minute),
-		mpi.WithVirtualTime(vtimeOf(perfmodel.BlueGeneP())))
+		mpi.WithVirtualTime(vtimeOf(perfmodel.BlueGeneP())),
+		mpi.WithObserver(obsr))
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +154,7 @@ func MeasureColoring(shares []*dgraph.DistGraph, opt coloring.ParallelOptions) (
 	m := &Measurement{P: p, WallHost: time.Since(start), Ranks: make([]perfmodel.Profile, p)}
 	m.VirtualSeconds = w.MaxVirtualTime()
 	for r := 0; r < p; r++ {
-		prof := structuralProfile(shares[r])
+		prof := measuredProfile(obsr.Registry(), p, r)
 		st := w.RankStats(r)
 		prof.Msgs = st.SentMsgs
 		prof.Bytes = st.SentBytes

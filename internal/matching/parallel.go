@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dgraph"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // Message kinds of the distributed protocol (Section 3.2):
@@ -129,6 +130,7 @@ type matchState struct {
 	queue      []int32   // owned vertices that just became unavailable
 	out        *mpi.Bundler
 	outerIters int64
+	tr         *obs.Tracer
 }
 
 const noCM int32 = -1
@@ -147,10 +149,12 @@ func (s *matchState) run() {
 	}
 	s.undecided = n
 	s.out = mpi.NewBundler(s.c, matchTag, recordSize, s.opt.MaxBundleBytes)
+	s.tr = s.c.Tracer()
 
 	// Initialization: compute every candidate mate; request across cross
 	// edges; match mutual local pairs. Virtual-time accounting: one edge op
 	// per arc scanned, one vertex op per vertex initialized.
+	initTok := s.tr.Begin("match.init")
 	s.c.ChargeOps(d.Xadj[n], int64(n))
 	for v := int32(0); int(v) < n; v++ {
 		s.cm[v] = s.computeCandidate(v)
@@ -170,6 +174,7 @@ func (s *matchState) run() {
 		}
 	}
 	s.drainQueue()
+	s.tr.EndN(initTok, int64(n))
 
 	// Outer loop: flush bundles, block for traffic, process, repeat, until
 	// every owned vertex is decided. Ranks whose vertices are all decided
@@ -177,6 +182,7 @@ func (s *matchState) run() {
 	// decision time), so exiting early starves nobody.
 	for s.undecided > 0 {
 		s.outerIters++
+		outerTok := s.tr.Begin("match.outer")
 		s.out.Flush()
 		m := s.c.Recv()
 		s.handleBundle(m)
@@ -188,7 +194,9 @@ func (s *matchState) run() {
 			s.handleBundle(mm)
 		}
 		s.drainQueue()
+		s.tr.EndN(outerTok, s.outerIters)
 	}
+	finTok := s.tr.Begin("match.finalize")
 	s.out.Flush()
 	// Termination is local (the paper's outer loop stops when this rank's
 	// cross edges are resolved), so slower peers' stale SUCCEEDED/FAILED
@@ -198,6 +206,7 @@ func (s *matchState) run() {
 	// is complete before this fence.
 	s.c.Barrier()
 	s.c.DrainTag(matchTag)
+	s.tr.End(finTok)
 }
 
 // computeCandidate returns the most preferred available neighbor of owned
@@ -309,7 +318,13 @@ func (s *matchState) fail(v int32) {
 // match, request, or fail — cascading without any communication (messages to
 // ghosts are only *buffered* here; the outer loop ships them).
 func (s *matchState) drainQueue() {
+	if len(s.queue) == 0 {
+		return
+	}
+	tok := s.tr.BeginDetail("match.inner")
+	var drained int64
 	for len(s.queue) > 0 {
+		drained++
 		v := s.queue[0]
 		s.queue = s.queue[1:]
 		for _, w := range s.d.Neighbors(v) {
@@ -319,6 +334,7 @@ func (s *matchState) drainQueue() {
 			s.recompute(w)
 		}
 	}
+	s.tr.EndN(tok, drained)
 }
 
 // recompute refreshes the candidate mate of free owned vertex w after its

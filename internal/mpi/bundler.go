@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Bundler implements the paper's central communication optimization:
 // "aggressive message bundling, where messages sent between the same pair of
@@ -33,6 +37,11 @@ type Bundler struct {
 	Flushes int64
 	// Records counts algorithm-level records added.
 	Records int64
+
+	// Registry instruments (nil when the world runs without an observer).
+	flushCtr  *obs.Counter
+	recordCtr *obs.Counter
+	sizeHist  *obs.Histogram // bundle payload bytes at flush time
 }
 
 // NewBundler creates a bundler for fixed-size records on the given tag.
@@ -49,13 +58,19 @@ func NewBundler(c *Comm, tag, recordSize, maxBytes int) *Bundler {
 	if maxBytes < recordSize {
 		maxBytes = recordSize
 	}
-	return &Bundler{
+	b := &Bundler{
 		c:          c,
 		tag:        tag,
 		recordSize: recordSize,
 		maxBytes:   maxBytes,
 		bufs:       make([][]byte, c.Size()),
 	}
+	if reg := c.Metrics(); reg != nil {
+		b.flushCtr = reg.Counter("mpi.bundle_flushes")
+		b.recordCtr = reg.Counter("mpi.bundle_records")
+		b.sizeHist = reg.Histogram("mpi.bundle_bytes", obs.ExpBounds(16, 128<<10))
+	}
+	return b
 }
 
 // Add appends one record destined for rank to, shipping the buffer if it is
@@ -65,6 +80,7 @@ func (b *Bundler) Add(to int, rec []byte) {
 		panic(fmt.Sprintf("mpi: record size %d, want %d", len(rec), b.recordSize))
 	}
 	b.Records++
+	b.recordCtr.Inc()
 	if b.bufs[to] == nil {
 		if n := len(b.free); n > 0 {
 			b.bufs[to] = b.free[n-1]
@@ -101,6 +117,8 @@ func (b *Bundler) flushOne(to int) {
 	b.bufs[to] = nil
 	b.c.Send(to, b.tag, buf)
 	b.Flushes++
+	b.flushCtr.Inc()
+	b.sizeHist.Observe(int64(len(buf)))
 }
 
 // Pending reports whether any record is buffered but unsent.

@@ -23,10 +23,13 @@ package mpi
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mpi/transport"
+	"repro/internal/obs"
 )
 
 // Message is one point-to-point message.
@@ -51,16 +54,16 @@ type World struct {
 	local    []int // ranks hosted by this World instance (ascending)
 	allLocal bool  // every rank is local: shared-memory fast paths apply
 	boxes    []*mailbox
-	stats    []Stats
-	statsMu  []sync.Mutex
+	stats    []rankCounters // lock-free live traffic counters, one per rank
 	barrier  *barrier
 	coll     *collectives
 	perturb  uint64 // nonzero enables randomized cross-sender receive order
 	deadline time.Duration
 	vt       *VirtualTime
-	// finalVTime records each rank's virtual clock when its Run body
-	// returned (guarded by the corresponding statsMu entry).
-	finalVTime []float64
+	obs      *obs.Observer
+	// finalVTime records each rank's virtual clock (as Float64bits) when its
+	// Run body returned.
+	finalVTime []atomic.Uint64
 
 	runMu sync.Mutex
 	ran   bool
@@ -95,6 +98,15 @@ func WithTransport(t transport.Transport) Option {
 	return func(w *World) { w.tr = t }
 }
 
+// WithObserver attaches an observability collector: each local rank gets the
+// observer's tracer for its rank (see Comm.Tracer), the runtime's counters
+// flow into the observer's registry, and a transport that supports metrics
+// is wired to it too. A nil observer is the disabled state and costs
+// nothing on any hot path.
+func WithObserver(o *obs.Observer) Option {
+	return func(w *World) { w.obs = o }
+}
+
 // NewWorld creates a world with the given number of ranks.
 func NewWorld(size int, opts ...Option) (*World, error) {
 	if size <= 0 {
@@ -103,10 +115,9 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	w := &World{
 		size:       size,
 		boxes:      make([]*mailbox, size),
-		stats:      make([]Stats, size),
-		statsMu:    make([]sync.Mutex, size),
+		stats:      make([]rankCounters, size),
 		barrier:    newBarrier(size),
-		finalVTime: make([]float64, size),
+		finalVTime: make([]atomic.Uint64, size),
 	}
 	w.coll = newCollectives(size)
 	for _, o := range opts {
@@ -123,6 +134,14 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	for _, r := range w.local {
 		w.boxes[r] = newMailbox(size)
 		w.tr.Register(r, w.boxes[r].sink())
+	}
+	if w.obs != nil {
+		// A transport backend that meters itself (frames, wire bytes, write
+		// batches) hooks into the same registry.
+		if m, ok := w.tr.(transport.MetricSetter); ok {
+			m.SetMetrics(w.obs.Registry())
+		}
+		w.obs.Registry().Gauge("mpi.world_size").Set(int64(size))
 	}
 	return w, nil
 }
@@ -168,7 +187,31 @@ func (w *World) Run(fn func(c *Comm) error) error {
 	if cerr := w.tr.Close(); cerr != nil && runErr == nil {
 		runErr = fmt.Errorf("mpi: transport close: %w", cerr)
 	}
+	w.publishStats()
 	return runErr
+}
+
+// publishStats copies the final per-rank traffic counters into the
+// observer's registry, so an exported trace/metrics file reconciles exactly
+// with RankStats/TotalStats. Only local ranks are published: in a
+// multi-process job each worker reports its own rank and the shard merge
+// sums them into the global totals.
+func (w *World) publishStats() {
+	if w.obs == nil {
+		return
+	}
+	reg := w.obs.Registry()
+	sm := reg.Vec("mpi.sent_msgs", w.size)
+	sb := reg.Vec("mpi.sent_bytes", w.size)
+	rm := reg.Vec("mpi.recv_msgs", w.size)
+	rb := reg.Vec("mpi.recv_bytes", w.size)
+	for _, r := range w.local {
+		s := w.stats[r].snapshot()
+		sm.At(r).Add(s.SentMsgs)
+		sb.At(r).Add(s.SentBytes)
+		rm.At(r).Add(s.RecvMsgs)
+		rb.At(r).Add(s.RecvBytes)
+	}
 }
 
 func (w *World) run(fn func(c *Comm) error) error {
@@ -191,14 +234,22 @@ func (w *World) run(fn func(c *Comm) error) error {
 				mu.Unlock()
 			}()
 			c := &Comm{world: w, rank: rank, rng: w.perturb}
+			if w.obs != nil {
+				c.tr = w.obs.Tracer(rank)
+				c.tr.SetStatsFunc(func() (int64, int64) {
+					return w.stats[rank].sentMsgs.Load(), w.stats[rank].sentBytes.Load()
+				})
+				reg := w.obs.Registry()
+				c.vops = reg.Vec("mpi.vertex_ops", w.size).At(rank)
+				c.eops = reg.Vec("mpi.edge_ops", w.size).At(rank)
+				c.epochs = reg.Vec("mpi.barrier_epochs", w.size).At(rank)
+			}
 			if err := fn(c); err != nil {
 				mu.Lock()
 				errs[i] = fmt.Errorf("mpi: rank %d: %w", rank, err)
 				mu.Unlock()
 			}
-			w.statsMu[rank].Lock()
-			w.finalVTime[rank] = c.vclock
-			w.statsMu[rank].Unlock()
+			w.finalVTime[rank].Store(math.Float64bits(c.vclock))
 		}(i, r)
 	}
 	if w.deadline > 0 {
@@ -248,11 +299,11 @@ func (w *World) LocalRanks() []int {
 	return out
 }
 
-// RankStats returns the traffic counters of one rank after Run.
+// RankStats returns the traffic counters of one rank. Safe to call from any
+// goroutine at any time, including while Run is in flight — the counters are
+// lock-free atomics, so live polling never races with the ranks.
 func (w *World) RankStats(rank int) Stats {
-	w.statsMu[rank].Lock()
-	defer w.statsMu[rank].Unlock()
-	return w.stats[rank]
+	return w.stats[rank].snapshot()
 }
 
 // TotalStats sums the counters over all ranks.
@@ -275,6 +326,25 @@ type Comm struct {
 	stash []Message
 	// vclock is this rank's virtual clock (see vtime.go).
 	vclock float64
+	// Observability hooks (all nil when the world has no observer; the nil
+	// instruments make every instrumented call a single comparison).
+	tr     *obs.Tracer
+	vops   *obs.Counter // per-rank vertex-operation counter
+	eops   *obs.Counter // per-rank edge-operation counter
+	epochs *obs.Counter // per-rank barrier/collective epoch counter
+}
+
+// Tracer returns this rank's span tracer, or nil when observability is off.
+// All tracer methods are nil-safe, so algorithms instrument unconditionally.
+func (c *Comm) Tracer() *obs.Tracer { return c.tr }
+
+// Metrics returns the world's metrics registry, or nil when observability is
+// off. All registry and instrument methods are nil-safe.
+func (c *Comm) Metrics() *obs.Registry {
+	if c.world.obs == nil {
+		return nil
+	}
+	return c.world.obs.Registry()
 }
 
 // Rank reports this rank's id in [0, Size()).
@@ -295,11 +365,8 @@ func (c *Comm) Send(to, tag int, data []byte) {
 	if tag < 0 {
 		panic(fmt.Sprintf("mpi: rank %d sends tag %d; negative tags are reserved for the runtime", c.rank, tag))
 	}
-	mu := &c.world.statsMu[c.rank]
-	mu.Lock()
-	c.world.stats[c.rank].SentMsgs++
-	c.world.stats[c.rank].SentBytes += int64(len(data))
-	mu.Unlock()
+	c.world.stats[c.rank].sentMsgs.Add(1)
+	c.world.stats[c.rank].sentBytes.Add(int64(len(data)))
 	c.send(transport.Msg{From: c.rank, To: to, Tag: tag, ArriveV: c.stampSend(len(data)), Payload: data})
 }
 
@@ -370,11 +437,8 @@ func (c *Comm) countRecv(m Message) {
 	if m.Tag < 0 {
 		return // runtime-internal traffic is not part of the algorithm's cost
 	}
-	mu := &c.world.statsMu[c.rank]
-	mu.Lock()
-	c.world.stats[c.rank].RecvMsgs++
-	c.world.stats[c.rank].RecvBytes += int64(len(m.Data))
-	mu.Unlock()
+	c.world.stats[c.rank].recvMsgs.Add(1)
+	c.world.stats[c.rank].recvBytes.Add(int64(len(m.Data)))
 }
 
 // nextPick returns the cross-sender selection key for this receive: 0 for
@@ -400,6 +464,7 @@ func (c *Comm) nextPick() uint64 {
 // exchanges a message with every peer, and receiving a peer's barrier message
 // means everything it sent earlier has already been delivered.
 func (c *Comm) Barrier() {
+	c.epochs.Add(1)
 	if !c.world.allLocal {
 		c.remoteBarrier()
 		return
@@ -429,11 +494,8 @@ func (c *Comm) DrainTag(tag int) int {
 	c.stash = keep
 	n, bytes := c.world.boxes[c.rank].drainTag(tag)
 	dropped += n
-	mu := &c.world.statsMu[c.rank]
-	mu.Lock()
-	c.world.stats[c.rank].RecvMsgs += int64(n)
-	c.world.stats[c.rank].RecvBytes += bytes
-	mu.Unlock()
+	c.world.stats[c.rank].recvMsgs.Add(int64(n))
+	c.world.stats[c.rank].recvBytes.Add(bytes)
 	return dropped
 }
 

@@ -1,6 +1,9 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Stats counts a rank's traffic. The experiment harness snapshots these per
 // phase; the α–β performance model consumes (SentMsgs, SentBytes) to predict
@@ -10,6 +13,29 @@ type Stats struct {
 	SentBytes int64
 	RecvMsgs  int64
 	RecvBytes int64
+}
+
+// rankCounters is the live form of Stats: lock-free atomic cells, written by
+// the owning rank's goroutine on every send/receive and readable from any
+// goroutine at any time — live metrics polling (RankStats/TotalStats while
+// Run is in flight) never races and never blocks the hot path.
+type rankCounters struct {
+	sentMsgs  atomic.Int64
+	sentBytes atomic.Int64
+	recvMsgs  atomic.Int64
+	recvBytes atomic.Int64
+}
+
+// snapshot reads the counters. The four loads are individually atomic, not
+// a consistent cut — momentary skew between fields is inherent to live
+// polling and irrelevant to end-of-run reads.
+func (rc *rankCounters) snapshot() Stats {
+	return Stats{
+		SentMsgs:  rc.sentMsgs.Load(),
+		SentBytes: rc.sentBytes.Load(),
+		RecvMsgs:  rc.recvMsgs.Load(),
+		RecvBytes: rc.recvBytes.Load(),
+	}
 }
 
 // Add accumulates o into s.
@@ -36,7 +62,7 @@ func (s Stats) String() string {
 }
 
 // StatsSnapshot returns this rank's counters at the current moment. Safe to
-// call from the rank's own goroutine during Run.
+// call from any goroutine, including while Run is in flight.
 func (c *Comm) StatsSnapshot() Stats {
 	return c.world.RankStats(c.rank)
 }

@@ -1,5 +1,7 @@
 package mpi
 
+import "math"
+
 // Virtual time: a LogP-flavored simulation layer over the runtime. When a
 // World is created WithVirtualTime, every rank carries a virtual clock:
 //
@@ -38,9 +40,15 @@ func WithVirtualTime(vt VirtualTime) Option {
 }
 
 // ChargeOps advances this rank's virtual clock by the modeled cost of the
-// given operation counts. A no-op when virtual time is disabled, so
-// algorithms may charge unconditionally.
+// given operation counts, and feeds the same counts into the observability
+// registry (mpi.vertex_ops / mpi.edge_ops) when an observer is attached —
+// the per-rank compute profile that perfmodel consumes. A near-no-op when
+// both are disabled, so algorithms may charge unconditionally.
 func (c *Comm) ChargeOps(edgeOps, vertexOps int64) {
+	if c.eops != nil {
+		c.eops.Add(edgeOps)
+		c.vops.Add(vertexOps)
+	}
 	vt := c.world.vt
 	if vt == nil {
 		return
@@ -60,9 +68,7 @@ func (c *Comm) VTime() float64 { return c.vclock }
 
 // RankVirtualTime reports a rank's final virtual clock after Run.
 func (w *World) RankVirtualTime(rank int) float64 {
-	w.statsMu[rank].Lock()
-	defer w.statsMu[rank].Unlock()
-	return w.finalVTime[rank]
+	return math.Float64frombits(w.finalVTime[rank].Load())
 }
 
 // MaxVirtualTime reports the virtual makespan of the run.

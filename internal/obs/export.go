@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Trace export. Two formats:
+//
+//   - Chrome trace_event JSON (the "JSON object format": {"traceEvents":
+//     [...]}), loadable in chrome://tracing and Perfetto. Each rank becomes a
+//     process (pid = rank) so the per-rank timelines stack vertically;
+//     driver-side spans live under pid = DriverPID. The registry snapshot
+//     rides along under the top-level "dmgmMetrics" key, which trace viewers
+//     ignore but dmgm-trace consumes.
+//   - JSONL: one Span per line, for ad-hoc jq/awk processing.
+//
+// A multi-process (-launch) job writes one shard per worker; shards are the
+// same TraceFile shape and merge by event concatenation + metrics summation
+// (see MergeShards). Wall-clock timestamps keep shards aligned.
+
+// DriverPID is the Chrome-trace pid under which driver spans are filed.
+const DriverPID = 1 << 20
+
+// TraceEvent is one Chrome trace_event entry.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ArgInt reads a numeric event argument, tolerating the float64 that JSON
+// round-trips produce.
+func (e TraceEvent) ArgInt(key string) int64 {
+	switch v := e.Args[key].(type) {
+	case int64:
+		return v
+	case float64:
+		return int64(v)
+	}
+	return 0
+}
+
+// TraceFile is the on-disk trace shape (Chrome JSON object format plus the
+// metrics sidecar).
+type TraceFile struct {
+	Events  []TraceEvent     `json:"traceEvents"`
+	Metrics *MetricsSnapshot `json:"dmgmMetrics,omitempty"`
+}
+
+// eventOf converts a span; driver spans file under DriverPID with the
+// process-local tid so merged launch shards stay distinguishable.
+func eventOf(s Span, driverTID int) TraceEvent {
+	e := TraceEvent{
+		Name: s.Name,
+		Cat:  "phase",
+		Ph:   "X",
+		TS:   float64(s.Start) / 1e3,
+		Dur:  float64(s.Dur) / 1e3,
+		PID:  s.Rank,
+		TID:  0,
+	}
+	if s.Detail {
+		e.Cat = "detail"
+	}
+	if s.Rank == DriverRank {
+		e.PID = DriverPID
+		e.TID = driverTID
+	}
+	if s.N != 0 || s.Msgs != 0 || s.Bytes != 0 {
+		e.Args = map[string]any{"n": s.N, "msgs": s.Msgs, "bytes": s.Bytes}
+	}
+	return e
+}
+
+// CollectEvents flattens the observer's spans for the given ranks (plus the
+// driver tracer) into Chrome events. driverTID distinguishes driver spans of
+// different worker processes after a shard merge; pass 0 for single-process
+// runs.
+func (o *Observer) CollectEvents(ranks []int, driverTID int) []TraceEvent {
+	if o == nil {
+		return nil
+	}
+	var events []TraceEvent
+	for _, r := range ranks {
+		t := o.Tracer(r)
+		spans := t.Spans()
+		for _, s := range spans {
+			events = append(events, eventOf(s, driverTID))
+		}
+		if dropped := t.Recorded() - uint64(len(spans)); dropped > 0 {
+			events = append(events, TraceEvent{
+				Name: "obs.spans_dropped", Ph: "C", TS: 0, PID: r, TID: 0,
+				Args: map[string]any{"dropped": int64(dropped)},
+			})
+		}
+	}
+	for _, s := range o.Driver().Spans() {
+		events = append(events, eventOf(s, driverTID))
+	}
+	// Name the per-rank processes so viewers label the timeline rows.
+	seen := map[int]bool{}
+	var meta []TraceEvent
+	for _, e := range events {
+		if !seen[e.PID] {
+			seen[e.PID] = true
+			name := fmt.Sprintf("rank %d", e.PID)
+			if e.PID == DriverPID {
+				name = "driver"
+			}
+			meta = append(meta,
+				TraceEvent{Name: "process_name", Ph: "M", PID: e.PID, TID: e.TID,
+					Args: map[string]any{"name": name}},
+				TraceEvent{Name: "process_sort_index", Ph: "M", PID: e.PID, TID: e.TID,
+					Args: map[string]any{"sort_index": int64(e.PID)}})
+		}
+	}
+	return append(meta, events...)
+}
+
+// WriteChrome writes the Chrome-trace JSON for the given ranks, embedding
+// the registry snapshot.
+func (o *Observer) WriteChrome(w io.Writer, ranks []int, driverTID int) error {
+	tf := TraceFile{Events: o.CollectEvents(ranks, driverTID)}
+	if tf.Events == nil {
+		tf.Events = []TraceEvent{} // a loadable file even when empty
+	}
+	if o != nil {
+		tf.Metrics = o.Registry().Snapshot()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tf)
+}
+
+// WriteJSONL writes one span per line for the given ranks plus the driver.
+func (o *Observer) WriteJSONL(w io.Writer, ranks []int) error {
+	if o == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range ranks {
+		for _, s := range o.Tracer(r).Spans() {
+			if err := enc.Encode(s); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range o.Driver().Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTraceFile writes the trace for the given ranks to path, choosing
+// JSONL when the path ends in ".jsonl" and Chrome JSON otherwise.
+func (o *Observer) WriteTraceFile(path string, ranks []int, driverTID int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return o.WriteJSONL(f, ranks)
+	}
+	return o.WriteChrome(f, ranks, driverTID)
+}
+
+// WriteMetricsFile writes the registry snapshot as standalone JSON.
+func (o *Observer) WriteMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o.Registry().Snapshot())
+}
+
+// ReadTraceFile loads a trace written by WriteTraceFile or a shard merge; it
+// accepts the Chrome object format, a bare event array, and JSONL spans.
+func ReadTraceFile(path string) (*TraceFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	switch {
+	case strings.HasPrefix(trimmed, "{"):
+		// Both the Chrome object format and JSONL span lines start with '{';
+		// only the former has a "traceEvents" key in its first object.
+		var probe struct {
+			Events *json.RawMessage `json:"traceEvents"`
+		}
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		if err := dec.Decode(&probe); err != nil {
+			return nil, fmt.Errorf("obs: parsing %s: %w", path, err)
+		}
+		if probe.Events == nil {
+			return readSpanLines(path, trimmed) // JSONL spans
+		}
+		var tf TraceFile
+		if err := json.Unmarshal(data, &tf); err != nil {
+			return nil, fmt.Errorf("obs: parsing %s: %w", path, err)
+		}
+		return &tf, nil
+	case strings.HasPrefix(trimmed, "["):
+		var events []TraceEvent
+		if err := json.Unmarshal(data, &events); err != nil {
+			return nil, fmt.Errorf("obs: parsing %s: %w", path, err)
+		}
+		return &TraceFile{Events: events}, nil
+	default:
+		return readSpanLines(path, trimmed)
+	}
+}
+
+// readSpanLines parses a JSONL stream of Span objects.
+func readSpanLines(path, data string) (*TraceFile, error) {
+	tf := &TraceFile{}
+	dec := json.NewDecoder(strings.NewReader(data))
+	for dec.More() {
+		var s Span
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("obs: parsing %s: %w", path, err)
+		}
+		tf.Events = append(tf.Events, eventOf(s, 0))
+	}
+	return tf, nil
+}
+
+// ShardPath names the per-worker trace/metrics shard for one rank.
+func ShardPath(path string, rank int) string {
+	return fmt.Sprintf("%s.rank%d", path, rank)
+}
+
+// MergeShards combines the per-worker shards path.rank0..path.rank(p-1)
+// into path: trace events concatenate, metrics snapshots merge. Missing
+// shards (a worker that died before writing) are skipped with an error
+// return listing them; the merged file is still written from what exists.
+func MergeShards(path string, p int) error {
+	merged := TraceFile{Events: []TraceEvent{}, Metrics: (*Registry)(nil).Snapshot()}
+	var missing []int
+	for r := 0; r < p; r++ {
+		shard := ShardPath(path, r)
+		tf, err := ReadTraceFile(shard)
+		if err != nil {
+			missing = append(missing, r)
+			continue
+		}
+		merged.Events = append(merged.Events, tf.Events...)
+		merged.Metrics.Merge(tf.Metrics)
+		os.Remove(shard)
+	}
+	sort.SliceStable(merged.Events, func(i, j int) bool {
+		if merged.Events[i].PID != merged.Events[j].PID {
+			return merged.Events[i].PID < merged.Events[j].PID
+		}
+		return merged.Events[i].TS < merged.Events[j].TS
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(&merged); err != nil {
+		return err
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("obs: shards missing for ranks %v", missing)
+	}
+	return nil
+}
+
+// MergeMetricsShards combines per-worker metrics JSON shards into path.
+func MergeMetricsShards(path string, p int) error {
+	merged := (*Registry)(nil).Snapshot()
+	var missing []int
+	for r := 0; r < p; r++ {
+		shard := ShardPath(path, r)
+		data, err := os.ReadFile(shard)
+		if err != nil {
+			missing = append(missing, r)
+			continue
+		}
+		var s MetricsSnapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			missing = append(missing, r)
+			continue
+		}
+		merged.Merge(&s)
+		os.Remove(shard)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(merged); err != nil {
+		return err
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("obs: metrics shards missing for ranks %v", missing)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Flags is the standard observability flag block shared by the cmd/
+// binaries: where to write the trace and metrics, and whether to serve
+// net/http/pprof.
+type Flags struct {
+	// Trace is the trace output path ("" = off). ".jsonl" selects the JSONL
+	// format, anything else the Chrome trace_event JSON.
+	Trace string
+	// Metrics is the standalone metrics JSON output path ("" = off).
+	Metrics string
+	// Pprof is the pprof listen address ("" = off). Multi-process workers
+	// offset a fixed port by their rank so the fleet never collides.
+	Pprof string
+	// SpanCap is the per-rank span ring capacity (0 = default).
+	SpanCap int
+}
+
+// RegisterFlags installs the observability flag block on the default flag
+// set.
+func RegisterFlags() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.Trace, "trace", "", "write a span trace to this path (.json = Chrome trace_event, .jsonl = one span per line)")
+	flag.StringVar(&f.Metrics, "metrics", "", "write the metrics registry to this JSON path")
+	flag.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this address (workers add their rank to a fixed port)")
+	flag.IntVar(&f.SpanCap, "trace-spans", 0, "per-rank span ring capacity (0 = 65536; older spans are overwritten)")
+	return f
+}
+
+// Enabled reports whether any collection output was requested.
+func (f *Flags) Enabled() bool { return f.Trace != "" || f.Metrics != "" }
+
+// NewObserver builds the observer the flags describe, or nil when
+// observability is off — the nil observer makes all instrumentation free.
+func (f *Flags) NewObserver(ranks int) *Observer {
+	if !f.Enabled() {
+		return nil
+	}
+	cap := f.SpanCap
+	if f.Trace == "" {
+		cap = -1 // metrics only: no rings
+	}
+	return NewObserver(ranks, cap)
+}
+
+// Write dumps the requested outputs for the given local ranks. In remote
+// mode (one process per rank) each worker writes per-rank shards that the
+// supervisor later merges; otherwise the final files are written directly.
+// rank is this process's rank (used as shard suffix and driver tid).
+func (f *Flags) Write(o *Observer, localRanks []int, rank int, remote bool) error {
+	if o == nil {
+		return nil
+	}
+	if f.Trace != "" {
+		path, tid := f.Trace, 0
+		if remote {
+			path, tid = ShardPath(f.Trace, rank), rank
+		}
+		if err := o.WriteTraceFile(path, localRanks, tid); err != nil {
+			return fmt.Errorf("obs: writing trace: %w", err)
+		}
+	}
+	if f.Metrics != "" {
+		path := f.Metrics
+		if remote {
+			path = ShardPath(f.Metrics, rank)
+		}
+		if err := o.WriteMetricsFile(path); err != nil {
+			return fmt.Errorf("obs: writing metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// Merge combines the per-worker shards of a p-rank launch into the final
+// trace and metrics files.
+func (f *Flags) Merge(p int) error {
+	if f.Trace != "" {
+		if err := MergeShards(f.Trace, p); err != nil {
+			return err
+		}
+	}
+	if f.Metrics != "" {
+		if err := MergeMetricsShards(f.Metrics, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PprofAddr resolves the listen address for this process: in remote mode a
+// fixed port is offset by the rank so every worker of a launch gets its own
+// listener (port 0 stays 0 — the kernel picks).
+func (f *Flags) PprofAddr(rank int, remote bool) string {
+	if f.Pprof == "" || !remote {
+		return f.Pprof
+	}
+	host, portStr, err := net.SplitHostPort(f.Pprof)
+	if err != nil {
+		return f.Pprof
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port == 0 {
+		return f.Pprof
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+rank))
+}
+
+// ServePprof starts an HTTP server exposing net/http/pprof on addr and
+// returns the bound address. The server runs until the process exits.
+func ServePprof(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	go http.Serve(ln, mux) //nolint:errcheck // serves for the process lifetime
+	return ln.Addr().String(), nil
+}
