@@ -198,6 +198,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmgm-color: %v\n", err)
 		os.Exit(1)
 	}
+	if of.HTTP != "" {
+		addr, err := obs.ServeLive(of.HTTPAddr(tf.Rank, tf.Remote()), w.LiveSnapshot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmgm-color: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "live: http://%s/snapshot (watch with: dmgm-trace -watch %s)\n", addr, addr)
+	}
 	start := time.Now()
 	var res *dmgm.ColorParallelResult
 	if *distance2 {

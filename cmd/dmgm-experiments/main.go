@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "all | table1.1 | table1.1sweep | table5.1 | fig5.1 | fig5.2 | fig5.3 | fig5.4 | ablations")
+		run     = flag.String("run", "all", "all | table1.1 | table1.1sweep | table5.1 | fig5.1 | fig5.2 | fig5.3 | fig5.4 | ablations | traffic")
 		quick   = flag.Bool("quick", false, "shrunken instances for a fast pass")
 		seed    = flag.Uint64("seed", 0, "seed (0 = default)")
 		csvPath = flag.String("csv", "", "also write tables as CSV to this file")
@@ -69,6 +69,8 @@ func main() {
 		_, err = expt.Fig54(o)
 	case "ablations":
 		err = expt.Ablations(o)
+	case "traffic":
+		err = expt.Traffic(o)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *run)
 	}

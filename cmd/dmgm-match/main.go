@@ -175,6 +175,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmgm-match: %v\n", err)
 		os.Exit(1)
 	}
+	if of.HTTP != "" {
+		addr, err := obs.ServeLive(of.HTTPAddr(tf.Rank, tf.Remote()), w.LiveSnapshot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmgm-match: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "live: http://%s/snapshot (watch with: dmgm-trace -watch %s)\n", addr, addr)
+	}
 	start := time.Now()
 	res, err := dmgm.MatchParallelWorld(w, g, part, opt)
 	if err != nil {

@@ -8,6 +8,14 @@
 //	dmgm-trace out.json
 //	dmgm-trace -details out.json      # include inner-loop (detail) spans
 //	dmgm-trace -metrics-only out.json # just the embedded registry
+//
+// With -watch it becomes a live dashboard instead: point it at the -http
+// endpoint(s) of a running dmgm-match / dmgm-color job and it polls /snapshot
+// and redraws a per-rank, per-tag-family traffic and imbalance view until the
+// run exits.
+//
+//	dmgm-trace -watch localhost:7070
+//	dmgm-trace -watch -interval 500ms localhost:7070 localhost:7071
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"os"
 	"sort"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -23,7 +32,18 @@ import (
 func main() {
 	details := flag.Bool("details", false, "include nested detail spans (inner loops, supersteps) in the timelines")
 	metricsOnly := flag.Bool("metrics-only", false, "print only the embedded metrics registry")
+	watchMode := flag.Bool("watch", false, "poll live -http endpoint(s) instead of reading a trace file; args are host:port or URLs, one per worker")
+	interval := flag.Duration("interval", time.Second, "poll interval for -watch")
+	watchIters := flag.Int("watch-iters", 0, "stop -watch after this many frames (0 = until the endpoints disappear)")
+	noClear := flag.Bool("no-clear", false, "do not clear the terminal between -watch frames (append frames instead)")
 	flag.Parse()
+	if *watchMode {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: dmgm-trace -watch [-interval 1s] <host:port|url> ...")
+			os.Exit(2)
+		}
+		os.Exit(watch(flag.Args(), *interval, *watchIters, !*noClear))
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dmgm-trace [-details] [-metrics-only] <trace.json|trace.jsonl>")
 		os.Exit(2)
@@ -175,6 +195,7 @@ func printMetrics(m *obs.MetricsSnapshot) {
 		}
 		w.Flush()
 	}
+	printFamilyTable(m)
 	if len(m.PerRank) > 0 {
 		fmt.Println("\n== per-rank counters ==")
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -209,6 +230,61 @@ func printMetrics(m *obs.MetricsSnapshot) {
 			}
 		}
 	}
+}
+
+// printFamilyTable condenses the mpi.{sent,recv}_{msgs,bytes}.<family>
+// per-rank vecs into one traffic row per tag family (summed across ranks).
+// The "runtime" family meters the reserved-tag collectives that the plain
+// mpi.sent_* aggregates exclude (see docs/PROTOCOL.md).
+func printFamilyTable(m *obs.MetricsSnapshot) {
+	type famRow struct{ sentMsgs, sentBytes, recvMsgs, recvBytes int64 }
+	fams := map[string]*famRow{}
+	sum := func(vals []int64) int64 {
+		var s int64
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	}
+	for key, vals := range m.PerRank {
+		var kind string
+		var fam string
+		for _, pre := range []string{"mpi.sent_msgs.", "mpi.sent_bytes.", "mpi.recv_msgs.", "mpi.recv_bytes."} {
+			if len(key) > len(pre) && key[:len(pre)] == pre {
+				kind, fam = pre, key[len(pre):]
+				break
+			}
+		}
+		if kind == "" {
+			continue
+		}
+		f := fams[fam]
+		if f == nil {
+			f = &famRow{}
+			fams[fam] = f
+		}
+		switch kind {
+		case "mpi.sent_msgs.":
+			f.sentMsgs += sum(vals)
+		case "mpi.sent_bytes.":
+			f.sentBytes += sum(vals)
+		case "mpi.recv_msgs.":
+			f.recvMsgs += sum(vals)
+		case "mpi.recv_bytes.":
+			f.recvBytes += sum(vals)
+		}
+	}
+	if len(fams) == 0 {
+		return
+	}
+	fmt.Println("\n== per-tag-family traffic ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "family\tsent msgs\tsent bytes\trecv msgs\trecv bytes")
+	for _, fam := range obs.SortedKeys(fams) {
+		f := fams[fam]
+		fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%s\n", fam, f.sentMsgs, fmtBytes(f.sentBytes), f.recvMsgs, fmtBytes(f.recvBytes))
+	}
+	w.Flush()
 }
 
 func sortedNames(m map[string]*agg) []string {

@@ -124,7 +124,10 @@ type ParallelResult struct {
 }
 
 const (
-	colorTag     = 200
+	// colorTag is the color-notice tag, shared by every communication
+	// variant (FIAB / FIAC / NEW) — the base of the coloring range of the
+	// tag-space contract (docs/PROTOCOL.md), metered as the "color" family.
+	colorTag     = mpi.TagColorBase
 	colorRecSize = 12 // global id (8) + color (4)
 )
 

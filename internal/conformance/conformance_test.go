@@ -62,7 +62,34 @@ func overTCP[T any](t *testing.T, p int, fn func(w *mpi.World) (*T, error)) *T {
 			t.Fatalf("result returned on world %d; want rank 0 only", i)
 		}
 	}
+	// Per-tag-family accounting must reconcile on every world, and the
+	// runtime's reserved-tag collectives really crossed the wire here.
+	var runtime mpi.FamilyStats
+	for i, w := range worlds {
+		assertFamiliesReconcile(t, w, fmt.Sprintf("tcp world %d", i))
+		for _, r := range w.LocalRanks() {
+			runtime.Add(w.RankStats(r).ByFamily[mpi.FamilyRuntime])
+		}
+	}
+	if runtime.SentMsgs == 0 || runtime.RecvMsgs == 0 {
+		t.Errorf("tcp runtime family saw no collective traffic: %+v", runtime)
+	}
 	return results[0]
+}
+
+// assertFamiliesReconcile checks the tag-family invariant on w's local ranks:
+// the non-runtime families must sum exactly to the aggregate counters — every
+// user byte attributed to a protocol phase, no byte counted twice.
+func assertFamiliesReconcile(t *testing.T, w *mpi.World, label string) {
+	t.Helper()
+	for _, r := range w.LocalRanks() {
+		s := w.RankStats(r)
+		got := s.UserFamilyTotals()
+		want := mpi.FamilyStats{SentMsgs: s.SentMsgs, SentBytes: s.SentBytes, RecvMsgs: s.RecvMsgs, RecvBytes: s.RecvBytes}
+		if got != want {
+			t.Errorf("%s rank %d: family totals %+v != aggregates %+v", label, r, got, want)
+		}
+	}
 }
 
 // instances the harness runs; the path graph's strictly increasing weights
@@ -282,5 +309,45 @@ func TestTCPMatchingRepeatable(t *testing.T) {
 	a, b := run(), run()
 	if fmt.Sprint(a.Mates) != fmt.Sprint(b.Mates) || a.Messages != b.Messages {
 		t.Fatalf("two tcp runs disagree: %d vs %d messages", a.Messages, b.Messages)
+	}
+}
+
+// TestTagFamilyReconciliation pins the per-tag-family accounting on the
+// inproc backend (overTCP asserts the tcp side on every run above): user
+// families sum exactly to the aggregates, the traffic lands in the family the
+// protocol says it should, and the runtime family stays silent — inproc
+// collectives are shared-memory, nothing crosses a wire.
+func TestTagFamilyReconciliation(t *testing.T) {
+	ins := buildInstances(t)[0]
+	newWorld := func() *mpi.World {
+		w, err := mpi.NewWorld(nRanks, mpi.WithDeadline(60*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+
+	w := newWorld()
+	if _, err := dmgm.MatchParallelWorld(w, ins.g, ins.part, dmgm.MatchParallelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	assertFamiliesReconcile(t, w, "inproc match")
+	total := w.TotalStats()
+	if fam := total.ByFamily[mpi.FamilyMatch]; fam.SentMsgs == 0 || fam.SentBytes != total.SentBytes {
+		t.Errorf("matching traffic not attributed to the match family: %+v of %+v", fam, total)
+	}
+	if rt := total.ByFamily[mpi.FamilyRuntime]; rt != (mpi.FamilyStats{}) {
+		t.Errorf("inproc run metered runtime wire traffic: %+v", rt)
+	}
+
+	w = newWorld()
+	copt := dmgm.ColorParallelOptions{SuperstepSize: ins.g.NumVertices(), Seed: 3, Deadline: 60 * time.Second}
+	if _, err := dmgm.ColorParallelWorld(w, ins.g, ins.part, copt); err != nil {
+		t.Fatal(err)
+	}
+	assertFamiliesReconcile(t, w, "inproc color")
+	total = w.TotalStats()
+	if fam := total.ByFamily[mpi.FamilyColor]; fam.SentMsgs == 0 || fam.SentBytes != total.SentBytes {
+		t.Errorf("coloring traffic not attributed to the color family: %+v of %+v", fam, total)
 	}
 }

@@ -1,0 +1,151 @@
+// Package docs holds repository documentation checks. TestMarkdownLinks is
+// an offline link checker over every *.md file: relative links must point at
+// files that exist and fragment anchors at headings that exist. It runs in CI
+// (the docs job) so documentation cannot silently drift from the tree — no
+// network access, external URLs are not followed.
+package docs
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// markdownFiles lists every tracked *.md, skipping dot-directories.
+func markdownFiles(t *testing.T, root string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && strings.HasPrefix(d.Name(), ".") && path != root {
+			return filepath.SkipDir
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	return files
+}
+
+var (
+	linkRe    = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+	headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.*)$`)
+	// anchorStrip removes characters GitHub drops when slugging a heading.
+	anchorStrip = regexp.MustCompile(`[^\p{L}\p{N} _-]`)
+)
+
+// slug approximates GitHub's heading-to-anchor transformation.
+func slug(heading string) string {
+	s := strings.ToLower(strings.TrimSpace(heading))
+	// Inline code and emphasis markers vanish before slugging.
+	s = strings.NewReplacer("`", "", "*", "", "_", "_").Replace(s)
+	s = anchorStrip.ReplaceAllString(s, "")
+	return strings.ReplaceAll(s, " ", "-")
+}
+
+// anchors returns the set of heading anchors defined in a markdown body.
+func anchors(body string) map[string]bool {
+	out := map[string]bool{}
+	for _, m := range headingRe.FindAllStringSubmatch(stripFences(body), -1) {
+		out[slug(m[1])] = true
+	}
+	return out
+}
+
+// stripFences blanks ``` code blocks so their contents are neither links nor
+// headings.
+func stripFences(body string) string {
+	lines := strings.Split(body, "\n")
+	fenced := false
+	for i, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "```") {
+			fenced = !fenced
+			lines[i] = ""
+			continue
+		}
+		if fenced {
+			lines[i] = ""
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestMarkdownLinks(t *testing.T) {
+	root := repoRoot(t)
+	bodies := map[string]string{}
+	for _, f := range markdownFiles(t, root) {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[f] = string(b)
+	}
+	for file, body := range bodies {
+		rel, _ := filepath.Rel(root, file)
+		for _, m := range linkRe.FindAllStringSubmatch(stripFences(body), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external: not checked offline
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			dest := file
+			if path != "" {
+				dest = filepath.Join(filepath.Dir(file), filepath.FromSlash(path))
+				info, err := os.Stat(dest)
+				if err != nil {
+					t.Errorf("%s: broken link %q: %v", rel, target, err)
+					continue
+				}
+				if info.IsDir() {
+					continue // directory links have no anchors to check
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			destBody, ok := bodies[dest]
+			if !ok {
+				if strings.HasSuffix(dest, ".md") {
+					t.Errorf("%s: link %q has a fragment but %s was not scanned", rel, target, dest)
+				}
+				continue // anchors into non-markdown files are not checked
+			}
+			if !anchors(destBody)[frag] {
+				t.Errorf("%s: link %q: no heading in %s slugs to %q", rel, target, filepath.Base(dest), frag)
+			}
+		}
+	}
+}

@@ -222,5 +222,8 @@ func RunAll(o Options) error {
 	if _, err := Fig54(o); err != nil {
 		return err
 	}
-	return Ablations(o)
+	if err := Ablations(o); err != nil {
+		return err
+	}
+	return Traffic(o)
 }

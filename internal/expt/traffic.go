@@ -1,0 +1,106 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/dgraph"
+	"repro/internal/gen"
+	"repro/internal/matching"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+)
+
+// Traffic runs one matching and one NEW-variant coloring over the circuit
+// instance and prints the per-tag-family traffic breakdown — the live view
+// `dmgm-trace -watch` renders mid-run, recorded here from finished runs so
+// the numbers are reproducible. The user families sum exactly to the
+// aggregate counters (asserted in conformance); the runtime family is the
+// reserved-tag collective traffic, zero on the in-process backend used here.
+func Traffic(o Options) error {
+	o = o.withDefaults()
+	side := o.CircuitSide
+	g, err := gen.Circuit(side, side, 0.45, false, o.Seed)
+	if err != nil {
+		return err
+	}
+	p := 12
+	if o.Quick {
+		p = 4
+	}
+	part, err := partition.BFS(g, p, o.Seed)
+	if err != nil {
+		return err
+	}
+	shares, err := dgraph.Distribute(g, part)
+	if err != nil {
+		return err
+	}
+
+	total, note, err := runForStats(p, func(c *mpi.Comm) error {
+		_, err := matching.Parallel(c, shares[c.Rank()], matching.ParallelOptions{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if err := emitTrafficTable(o,
+		fmt.Sprintf("Per-tag-family traffic — matching, circuit graph (n=%d, m=%d, p=%d)", g.NumVertices(), g.NumEdges(), p),
+		total, note,
+		"REQUEST/SUCCEEDED/FAILED records ride in 17-byte units inside per-destination bundles (docs/PROTOCOL.md)"); err != nil {
+		return err
+	}
+
+	total, note, err = runForStats(p, func(c *mpi.Comm) error {
+		_, err := coloring.Parallel(c, shares[c.Rank()], coloring.ParallelOptions{
+			Seed: o.Seed, CommMode: coloring.CommNeighbors, SuperstepSize: 100,
+		})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	return emitTrafficTable(o,
+		fmt.Sprintf("Per-tag-family traffic — coloring NEW variant, circuit graph (n=%d, m=%d, p=%d)", g.NumVertices(), g.NumEdges(), p),
+		total, note,
+		"color notices are 12-byte gid|color records, sent to affected neighbor ranks only (NEW)")
+}
+
+// runForStats runs body on a fresh in-process world and returns the summed
+// per-family traffic plus the reconciliation note for the table footer.
+func runForStats(p int, body func(*mpi.Comm) error) (mpi.Stats, string, error) {
+	w, err := mpi.NewWorld(p, mpi.WithDeadline(10*time.Minute))
+	if err != nil {
+		return mpi.Stats{}, "", err
+	}
+	if err := w.Run(body); err != nil {
+		return mpi.Stats{}, "", err
+	}
+	total := w.TotalStats()
+	user := total.UserFamilyTotals()
+	note := fmt.Sprintf("user families sum to the aggregate exactly: %d msgs / %d B sent == %d msgs / %d B",
+		user.SentMsgs, user.SentBytes, total.SentMsgs, total.SentBytes)
+	return total, note, nil
+}
+
+// emitTrafficTable renders one per-family breakdown table.
+func emitTrafficTable(o Options, title string, total mpi.Stats, notes ...string) error {
+	t := NewTable(title, "Tag family", "Sent msgs", "Sent bytes", "Recv msgs", "Recv bytes", "Byte share")
+	for f := mpi.TagFamily(0); f < mpi.NumTagFamilies; f++ {
+		fs := total.ByFamily[f]
+		if fs == (mpi.FamilyStats{}) {
+			continue
+		}
+		share := "-"
+		if total.SentBytes > 0 && f != mpi.FamilyRuntime {
+			share = fmt.Sprintf("%.1f%%", 100*float64(fs.SentBytes)/float64(total.SentBytes))
+		}
+		t.AddRow(f.String(), fs.SentMsgs, fs.SentBytes, fs.RecvMsgs, fs.RecvBytes, share)
+	}
+	t.AddRow("aggregate (user)", total.SentMsgs, total.SentBytes, total.RecvMsgs, total.RecvBytes, "100.0%")
+	for _, n := range notes {
+		t.AddComment("%s", n)
+	}
+	return o.emit(t)
+}

@@ -26,9 +26,12 @@ import (
 //
 // The protocol is round-synchronized: PROPOSE → decide (REJECT / DISPLACED
 // replies) → return budget → Allreduce("any proposals?").
+// The two tags sit at the bases of their tag-family ranges
+// (docs/PROTOCOL.md), so proposals and replies are metered separately in the
+// per-tag-family traffic breakdown.
 const (
-	bTagPropose = 110
-	bTagReply   = 111
+	bTagPropose = mpi.TagBMatchProposeBase
+	bTagReply   = mpi.TagBMatchReplyBase
 )
 
 // Reply kinds (both return one unit of proposal budget to the proposer).

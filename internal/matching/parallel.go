@@ -22,8 +22,10 @@ const (
 	msgFailed
 )
 
-// matchTag is the runtime message tag of matching bundles.
-const matchTag = 100
+// matchTag is the runtime message tag of matching bundles — the base of the
+// matching range of the tag-space contract (docs/PROTOCOL.md), so the
+// runtime attributes this traffic to the "match" tag family.
+const matchTag = mpi.TagMatchBase
 
 // recordSize is the wire size of one protocol record:
 // kind (1 byte) + source global id (8) + destination global id (8).

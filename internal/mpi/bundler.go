@@ -39,9 +39,14 @@ type Bundler struct {
 	Records int64
 
 	// Registry instruments (nil when the world runs without an observer).
-	flushCtr  *obs.Counter
-	recordCtr *obs.Counter
-	sizeHist  *obs.Histogram // bundle payload bytes at flush time
+	// The family-suffixed pair attributes bundle activity to the tag family
+	// of the bundler's tag (mpi.bundle_flushes.match, ...), alongside the
+	// aggregate counters shared by all bundlers.
+	flushCtr     *obs.Counter
+	recordCtr    *obs.Counter
+	famFlushCtr  *obs.Counter
+	famRecordCtr *obs.Counter
+	sizeHist     *obs.Histogram // bundle payload bytes at flush time
 }
 
 // NewBundler creates a bundler for fixed-size records on the given tag.
@@ -66,8 +71,11 @@ func NewBundler(c *Comm, tag, recordSize, maxBytes int) *Bundler {
 		bufs:       make([][]byte, c.Size()),
 	}
 	if reg := c.Metrics(); reg != nil {
+		fam := FamilyOf(tag).String()
 		b.flushCtr = reg.Counter("mpi.bundle_flushes")
 		b.recordCtr = reg.Counter("mpi.bundle_records")
+		b.famFlushCtr = reg.Counter("mpi.bundle_flushes." + fam)
+		b.famRecordCtr = reg.Counter("mpi.bundle_records." + fam)
 		b.sizeHist = reg.Histogram("mpi.bundle_bytes", obs.ExpBounds(16, 128<<10))
 	}
 	return b
@@ -81,6 +89,7 @@ func (b *Bundler) Add(to int, rec []byte) {
 	}
 	b.Records++
 	b.recordCtr.Inc()
+	b.famRecordCtr.Inc()
 	if b.bufs[to] == nil {
 		if n := len(b.free); n > 0 {
 			b.bufs[to] = b.free[n-1]
@@ -118,6 +127,7 @@ func (b *Bundler) flushOne(to int) {
 	b.c.Send(to, b.tag, buf)
 	b.Flushes++
 	b.flushCtr.Inc()
+	b.famFlushCtr.Inc()
 	b.sizeHist.Observe(int64(len(buf)))
 }
 

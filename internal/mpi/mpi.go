@@ -18,7 +18,11 @@
 //     MPI_Isend as used with aggregated message bundles.
 //
 // The runtime also meters traffic: per-rank sent/received message and byte
-// counters, which both the experiments and the α–β performance model consume.
+// counters, which both the experiments and the α–β performance model
+// consume. Counters are kept in aggregate and per message-tag family (see
+// FamilyOf and docs/PROTOCOL.md), so every byte on the wire is attributed to
+// a protocol phase; World.LiveSnapshot exposes the same breakdown for live
+// polling while a run is in flight.
 package mpi
 
 import (
@@ -201,16 +205,46 @@ func (w *World) publishStats() {
 		return
 	}
 	reg := w.obs.Registry()
+	snaps := make([]Stats, len(w.local))
+	for i, r := range w.local {
+		snaps[i] = w.stats[r].snapshot()
+	}
 	sm := reg.Vec("mpi.sent_msgs", w.size)
 	sb := reg.Vec("mpi.sent_bytes", w.size)
 	rm := reg.Vec("mpi.recv_msgs", w.size)
 	rb := reg.Vec("mpi.recv_bytes", w.size)
-	for _, r := range w.local {
-		s := w.stats[r].snapshot()
+	for i, r := range w.local {
+		s := snaps[i]
 		sm.At(r).Add(s.SentMsgs)
 		sb.At(r).Add(s.SentBytes)
 		rm.At(r).Add(s.RecvMsgs)
 		rb.At(r).Add(s.RecvBytes)
+	}
+	// Per-tag-family vectors, published only for families that saw traffic so
+	// the registry stays readable. Family sums reconcile with the aggregates
+	// above by construction (runtime excluded from both).
+	for _, f := range TagFamilies() {
+		any := false
+		for i := range snaps {
+			if snaps[i].ByFamily[f] != (FamilyStats{}) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		fsm := reg.Vec("mpi.sent_msgs."+f.String(), w.size)
+		fsb := reg.Vec("mpi.sent_bytes."+f.String(), w.size)
+		frm := reg.Vec("mpi.recv_msgs."+f.String(), w.size)
+		frb := reg.Vec("mpi.recv_bytes."+f.String(), w.size)
+		for i, r := range w.local {
+			fs := snaps[i].ByFamily[f]
+			fsm.At(r).Add(fs.SentMsgs)
+			fsb.At(r).Add(fs.SentBytes)
+			frm.At(r).Add(fs.RecvMsgs)
+			frb.At(r).Add(fs.RecvBytes)
+		}
 	}
 }
 
@@ -306,6 +340,45 @@ func (w *World) RankStats(rank int) Stats {
 	return w.stats[rank].snapshot()
 }
 
+// LiveSnapshot builds the serializable live view of this world's traffic —
+// per-rank aggregates plus the per-tag-family breakdown for every local
+// rank, and the registry snapshot when an observer is attached. Safe to call
+// from any goroutine while Run is in flight (the counters are lock-free
+// atomics); it is what the -http endpoint of the CLI tools serves and
+// dmgm-trace -watch polls.
+func (w *World) LiveSnapshot() *obs.LiveSnapshot {
+	s := &obs.LiveSnapshot{
+		CapturedUnixNanos: time.Now().UnixNano(),
+		WorldSize:         w.size,
+		LocalRanks:        w.LocalRanks(),
+	}
+	for _, r := range w.local {
+		st := w.stats[r].snapshot()
+		rt := obs.RankTraffic{
+			Rank:      r,
+			SentMsgs:  st.SentMsgs,
+			SentBytes: st.SentBytes,
+			RecvMsgs:  st.RecvMsgs,
+			RecvBytes: st.RecvBytes,
+		}
+		for _, f := range TagFamilies() {
+			fs := st.ByFamily[f]
+			rt.Families = append(rt.Families, obs.FamilyTraffic{
+				Family:    f.String(),
+				SentMsgs:  fs.SentMsgs,
+				SentBytes: fs.SentBytes,
+				RecvMsgs:  fs.RecvMsgs,
+				RecvBytes: fs.RecvBytes,
+			})
+		}
+		s.Ranks = append(s.Ranks, rt)
+	}
+	if w.obs != nil {
+		s.Metrics = w.obs.Registry().Snapshot()
+	}
+	return s
+}
+
 // TotalStats sums the counters over all ranks.
 func (w *World) TotalStats() Stats {
 	var t Stats
@@ -365,8 +438,7 @@ func (c *Comm) Send(to, tag int, data []byte) {
 	if tag < 0 {
 		panic(fmt.Sprintf("mpi: rank %d sends tag %d; negative tags are reserved for the runtime", c.rank, tag))
 	}
-	c.world.stats[c.rank].sentMsgs.Add(1)
-	c.world.stats[c.rank].sentBytes.Add(int64(len(data)))
+	c.world.stats[c.rank].countSent(FamilyOf(tag), int64(len(data)))
 	c.send(transport.Msg{From: c.rank, To: to, Tag: tag, ArriveV: c.stampSend(len(data)), Payload: data})
 }
 
@@ -434,11 +506,14 @@ func (c *Comm) takeStashedUser() (Message, bool) {
 }
 
 func (c *Comm) countRecv(m Message) {
+	rc := &c.world.stats[c.rank]
 	if m.Tag < 0 {
-		return // runtime-internal traffic is not part of the algorithm's cost
+		// Runtime-internal traffic is not part of the algorithm's cost:
+		// metered in its own family, excluded from the aggregates.
+		rc.countRecvRuntime(int64(len(m.Data)))
+		return
 	}
-	c.world.stats[c.rank].recvMsgs.Add(1)
-	c.world.stats[c.rank].recvBytes.Add(int64(len(m.Data)))
+	rc.countRecv(FamilyOf(m.Tag), 1, int64(len(m.Data)))
 }
 
 // nextPick returns the cross-sender selection key for this receive: 0 for
@@ -494,8 +569,9 @@ func (c *Comm) DrainTag(tag int) int {
 	c.stash = keep
 	n, bytes := c.world.boxes[c.rank].drainTag(tag)
 	dropped += n
-	c.world.stats[c.rank].recvMsgs.Add(int64(n))
-	c.world.stats[c.rank].recvBytes.Add(bytes)
+	// Stashed messages were already counted when popped from the mailbox;
+	// only the mailbox-drained ones are counted here, under the tag's family.
+	c.world.stats[c.rank].countRecv(FamilyOf(tag), int64(n), bytes)
 	return dropped
 }
 

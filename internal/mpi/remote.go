@@ -27,9 +27,12 @@ const (
 	tagGather  = -4 // payload: the sender's Allgather bytes
 )
 
-// sendRaw ships a runtime-internal message: no stats, no virtual-time
-// stamping (the modeled machine's collectives are charged via Sync, not α–β).
+// sendRaw ships a runtime-internal message: excluded from the aggregate
+// stats (the modeled machine's collectives are charged via Sync, not α–β)
+// but metered in the runtime tag family so every wire byte stays attributed,
+// and never virtual-time stamped.
 func (c *Comm) sendRaw(to, tag int, data []byte) {
+	c.world.stats[c.rank].countSentRuntime(int64(len(data)))
 	c.send(transport.Msg{From: c.rank, To: to, Tag: tag, Payload: data})
 }
 

@@ -5,14 +5,70 @@ import (
 	"sync/atomic"
 )
 
+// FamilyStats counts one tag family's share of a rank's traffic.
+type FamilyStats struct {
+	SentMsgs  int64
+	SentBytes int64
+	RecvMsgs  int64
+	RecvBytes int64
+}
+
+// Add accumulates o into s.
+func (s *FamilyStats) Add(o FamilyStats) {
+	s.SentMsgs += o.SentMsgs
+	s.SentBytes += o.SentBytes
+	s.RecvMsgs += o.RecvMsgs
+	s.RecvBytes += o.RecvBytes
+}
+
+// Sub returns s - o, for computing per-phase deltas between snapshots.
+func (s FamilyStats) Sub(o FamilyStats) FamilyStats {
+	return FamilyStats{
+		SentMsgs:  s.SentMsgs - o.SentMsgs,
+		SentBytes: s.SentBytes - o.SentBytes,
+		RecvMsgs:  s.RecvMsgs - o.RecvMsgs,
+		RecvBytes: s.RecvBytes - o.RecvBytes,
+	}
+}
+
 // Stats counts a rank's traffic. The experiment harness snapshots these per
 // phase; the α–β performance model consumes (SentMsgs, SentBytes) to predict
 // Blue Gene/P-scale times.
+//
+// The aggregate fields cover user traffic only (the algorithm's cost); the
+// ByFamily breakdown attributes the same counts to protocol phases and
+// additionally meters the runtime's reserved-tag collective traffic, which
+// the aggregates exclude by design. The user families therefore reconcile
+// exactly: UserFamilyTotals() equals the aggregate fields on any backend.
 type Stats struct {
 	SentMsgs  int64
 	SentBytes int64
 	RecvMsgs  int64
 	RecvBytes int64
+	// ByFamily splits the traffic by message-tag family (see FamilyOf).
+	ByFamily [NumTagFamilies]FamilyStats
+}
+
+// UserFamilyTotals sums the non-runtime families — the per-family view of
+// the aggregate counters. It equals {SentMsgs, SentBytes, RecvMsgs,
+// RecvBytes} exactly; the conformance suite asserts this on every backend.
+func (s Stats) UserFamilyTotals() FamilyStats {
+	var t FamilyStats
+	for f := TagFamily(0); f < NumTagFamilies; f++ {
+		if f == FamilyRuntime {
+			continue
+		}
+		t.Add(s.ByFamily[f])
+	}
+	return t
+}
+
+// famCounters is the live per-family form of FamilyStats.
+type famCounters struct {
+	sentMsgs  atomic.Int64
+	sentBytes atomic.Int64
+	recvMsgs  atomic.Int64
+	recvBytes atomic.Int64
 }
 
 // rankCounters is the live form of Stats: lock-free atomic cells, written by
@@ -24,38 +80,87 @@ type rankCounters struct {
 	sentBytes atomic.Int64
 	recvMsgs  atomic.Int64
 	recvBytes atomic.Int64
+	fam       [NumTagFamilies]famCounters
 }
 
-// snapshot reads the counters. The four loads are individually atomic, not
-// a consistent cut — momentary skew between fields is inherent to live
+// countSent records one outbound user message in the aggregate and family
+// counters.
+func (rc *rankCounters) countSent(f TagFamily, bytes int64) {
+	rc.sentMsgs.Add(1)
+	rc.sentBytes.Add(bytes)
+	rc.fam[f].sentMsgs.Add(1)
+	rc.fam[f].sentBytes.Add(bytes)
+}
+
+// countSentRuntime records one reserved-tag outbound message: family only,
+// never the aggregates.
+func (rc *rankCounters) countSentRuntime(bytes int64) {
+	rc.fam[FamilyRuntime].sentMsgs.Add(1)
+	rc.fam[FamilyRuntime].sentBytes.Add(bytes)
+}
+
+// countRecv records inbound messages in the aggregate and family counters.
+func (rc *rankCounters) countRecv(f TagFamily, msgs, bytes int64) {
+	rc.recvMsgs.Add(msgs)
+	rc.recvBytes.Add(bytes)
+	rc.fam[f].recvMsgs.Add(msgs)
+	rc.fam[f].recvBytes.Add(bytes)
+}
+
+// countRecvRuntime records one reserved-tag inbound message: family only,
+// never the aggregates.
+func (rc *rankCounters) countRecvRuntime(bytes int64) {
+	rc.fam[FamilyRuntime].recvMsgs.Add(1)
+	rc.fam[FamilyRuntime].recvBytes.Add(bytes)
+}
+
+// snapshot reads the counters. The loads are individually atomic, not a
+// consistent cut — momentary skew between fields is inherent to live
 // polling and irrelevant to end-of-run reads.
 func (rc *rankCounters) snapshot() Stats {
-	return Stats{
+	s := Stats{
 		SentMsgs:  rc.sentMsgs.Load(),
 		SentBytes: rc.sentBytes.Load(),
 		RecvMsgs:  rc.recvMsgs.Load(),
 		RecvBytes: rc.recvBytes.Load(),
 	}
+	for f := range rc.fam {
+		s.ByFamily[f] = FamilyStats{
+			SentMsgs:  rc.fam[f].sentMsgs.Load(),
+			SentBytes: rc.fam[f].sentBytes.Load(),
+			RecvMsgs:  rc.fam[f].recvMsgs.Load(),
+			RecvBytes: rc.fam[f].recvBytes.Load(),
+		}
+	}
+	return s
 }
 
-// Add accumulates o into s.
+// Add accumulates o into s, families included.
 func (s *Stats) Add(o Stats) {
 	s.SentMsgs += o.SentMsgs
 	s.SentBytes += o.SentBytes
 	s.RecvMsgs += o.RecvMsgs
 	s.RecvBytes += o.RecvBytes
+	for f := range s.ByFamily {
+		s.ByFamily[f].Add(o.ByFamily[f])
+	}
 }
 
 // Sub returns s - o, for computing per-phase deltas between snapshots.
 func (s Stats) Sub(o Stats) Stats {
-	return Stats{
+	out := Stats{
 		SentMsgs:  s.SentMsgs - o.SentMsgs,
 		SentBytes: s.SentBytes - o.SentBytes,
 		RecvMsgs:  s.RecvMsgs - o.RecvMsgs,
 		RecvBytes: s.RecvBytes - o.RecvBytes,
 	}
+	for f := range s.ByFamily {
+		out.ByFamily[f] = s.ByFamily[f].Sub(o.ByFamily[f])
+	}
+	return out
 }
 
+// String renders the aggregate counters (families elided).
 func (s Stats) String() string {
 	return fmt.Sprintf("sent %d msgs/%d B, recv %d msgs/%d B",
 		s.SentMsgs, s.SentBytes, s.RecvMsgs, s.RecvBytes)

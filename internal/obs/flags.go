@@ -21,6 +21,11 @@ type Flags struct {
 	// Pprof is the pprof listen address ("" = off). Multi-process workers
 	// offset a fixed port by their rank so the fleet never collides.
 	Pprof string
+	// HTTP is the live-observability listen address ("" = off): /snapshot
+	// serves the per-rank per-tag-family traffic JSON that dmgm-trace -watch
+	// polls, alongside /metrics and /debug/pprof. Multi-process workers
+	// offset a fixed port by their rank, like Pprof.
+	HTTP string
 	// SpanCap is the per-rank span ring capacity (0 = default).
 	SpanCap int
 }
@@ -32,12 +37,14 @@ func RegisterFlags() *Flags {
 	flag.StringVar(&f.Trace, "trace", "", "write a span trace to this path (.json = Chrome trace_event, .jsonl = one span per line)")
 	flag.StringVar(&f.Metrics, "metrics", "", "write the metrics registry to this JSON path")
 	flag.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this address (workers add their rank to a fixed port)")
+	flag.StringVar(&f.HTTP, "http", "", "serve live observability on this address: /snapshot (per-rank per-tag-family traffic JSON for dmgm-trace -watch), /metrics, /debug/pprof (workers add their rank to a fixed port)")
 	flag.IntVar(&f.SpanCap, "trace-spans", 0, "per-rank span ring capacity (0 = 65536; older spans are overwritten)")
 	return f
 }
 
-// Enabled reports whether any collection output was requested.
-func (f *Flags) Enabled() bool { return f.Trace != "" || f.Metrics != "" }
+// Enabled reports whether any collection output was requested — a file
+// export or the live HTTP endpoint.
+func (f *Flags) Enabled() bool { return f.Trace != "" || f.Metrics != "" || f.HTTP != "" }
 
 // NewObserver builds the observer the flags describe, or nil when
 // observability is off — the nil observer makes all instrumentation free.
@@ -97,20 +104,32 @@ func (f *Flags) Merge(p int) error {
 	return nil
 }
 
-// PprofAddr resolves the listen address for this process: in remote mode a
-// fixed port is offset by the rank so every worker of a launch gets its own
-// listener (port 0 stays 0 — the kernel picks).
+// PprofAddr resolves the pprof listen address for this process: in remote
+// mode a fixed port is offset by the rank so every worker of a launch gets
+// its own listener (port 0 stays 0 — the kernel picks).
 func (f *Flags) PprofAddr(rank int, remote bool) string {
-	if f.Pprof == "" || !remote {
-		return f.Pprof
+	return offsetAddr(f.Pprof, rank, remote)
+}
+
+// HTTPAddr resolves the live-observability listen address for this process,
+// with the same per-rank port offsetting as PprofAddr.
+func (f *Flags) HTTPAddr(rank int, remote bool) string {
+	return offsetAddr(f.HTTP, rank, remote)
+}
+
+// offsetAddr adds rank to addr's port in remote mode; addresses without a
+// fixed numeric port pass through unchanged.
+func offsetAddr(addr string, rank int, remote bool) string {
+	if addr == "" || !remote {
+		return addr
 	}
-	host, portStr, err := net.SplitHostPort(f.Pprof)
+	host, portStr, err := net.SplitHostPort(addr)
 	if err != nil {
-		return f.Pprof
+		return addr
 	}
 	port, err := strconv.Atoi(portStr)
 	if err != nil || port == 0 {
-		return f.Pprof
+		return addr
 	}
 	return net.JoinHostPort(host, strconv.Itoa(port+rank))
 }
