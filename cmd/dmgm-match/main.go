@@ -70,6 +70,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dmgm-match: -launch needs -p > 1")
 			os.Exit(2)
 		}
+		if of.OTLP != "" {
+			// Resolve the run id before spawning workers: they inherit it via
+			// the environment, so every shard exports into one OTLP trace.
+			of.RunID()
+		}
 		code := launch.Local(*p, "launch")
 		if err := of.Merge(*p); err != nil {
 			fmt.Fprintf(os.Stderr, "dmgm-match: %v\n", err)
@@ -193,6 +198,10 @@ func main() {
 	if werr := of.Write(obsr, w.LocalRanks(), tf.Rank, tf.Remote()); werr != nil {
 		fmt.Fprintf(os.Stderr, "dmgm-match: %v\n", werr)
 		os.Exit(1)
+	}
+	if oerr := of.ExportOTLP(obsr, w.LocalRanks(), part.P); oerr != nil {
+		// Export is best-effort: warn, never fail the run.
+		fmt.Fprintf(os.Stderr, "dmgm-match: %v\n", oerr)
 	}
 	if res == nil {
 		// A tcp worker that does not host rank 0: the gathered result lives

@@ -16,6 +16,15 @@
 //
 //	dmgm-trace -watch localhost:7070
 //	dmgm-trace -watch -interval 500ms localhost:7070 localhost:7071
+//
+// With -otlp-convert it pushes a recorded trace to an OTLP/HTTP collector
+// (Jaeger, an otel-collector, ...) post-mortem — the offline counterpart of
+// the runtimes' -otlp flag. With -replay it feeds the recorded per-phase
+// durations and traffic into the α–β–γ performance model and reports how
+// well the model explains each phase.
+//
+//	dmgm-trace -otlp-convert http://localhost:4318 out.json
+//	dmgm-trace -replay out.json
 package main
 
 import (
@@ -36,6 +45,9 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "poll interval for -watch")
 	watchIters := flag.Int("watch-iters", 0, "stop -watch after this many frames (0 = until the endpoints disappear)")
 	noClear := flag.Bool("no-clear", false, "do not clear the terminal between -watch frames (append frames instead)")
+	otlpConvert := flag.String("otlp-convert", "", "push the trace file to this OTLP/HTTP collector endpoint instead of printing a report")
+	otlpRun := flag.String("otlp-run", "", "run id for -otlp-convert (default: derived from the trace file name)")
+	replayMode := flag.Bool("replay", false, "feed the recorded phases into the performance model and report predicted-vs-observed error")
 	flag.Parse()
 	if *watchMode {
 		if flag.NArg() < 1 {
@@ -45,13 +57,19 @@ func main() {
 		os.Exit(watch(flag.Args(), *interval, *watchIters, !*noClear))
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dmgm-trace [-details] [-metrics-only] <trace.json|trace.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: dmgm-trace [-details] [-metrics-only] [-replay] [-otlp-convert <endpoint>] <trace.json|trace.jsonl>")
 		os.Exit(2)
 	}
 	tf, err := obs.ReadTraceFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dmgm-trace: %v\n", err)
 		os.Exit(1)
+	}
+	if *otlpConvert != "" {
+		os.Exit(otlpPush(tf, flag.Arg(0), *otlpConvert, *otlpRun))
+	}
+	if *replayMode {
+		os.Exit(replay(tf))
 	}
 	if !*metricsOnly {
 		report(tf, *details)

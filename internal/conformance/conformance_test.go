@@ -8,7 +8,10 @@
 package conformance
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -349,5 +352,84 @@ func TestTagFamilyReconciliation(t *testing.T) {
 	total = w.TotalStats()
 	if fam := total.ByFamily[mpi.FamilyColor]; fam.SentMsgs == 0 || fam.SentBytes != total.SentBytes {
 		t.Errorf("coloring traffic not attributed to the color family: %+v of %+v", fam, total)
+	}
+}
+
+// TestOTLPExportInvariance extends the passivity contract to the OTLP
+// pipeline: exporting a run to a collector — healthy or unreachable — must
+// not change the algorithm's result, and the healthy export must reconcile
+// exactly with what the observer recorded.
+func TestOTLPExportInvariance(t *testing.T) {
+	ins := buildInstances(t)[0]
+	run := func(obsr *obs.Observer) *dmgm.MatchParallelResult {
+		opts := []mpi.Option{mpi.WithDeadline(60 * time.Second)}
+		if obsr != nil {
+			opts = append(opts, mpi.WithObserver(obsr))
+		}
+		w, err := mpi.NewWorld(nRanks, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dmgm.MatchParallelWorld(w, ins.g, ins.part, dmgm.MatchParallelOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+
+	// Healthy collector: the export reconciles with the observer.
+	var mu sync.Mutex
+	var spansSeen int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ResourceSpans []struct {
+				ScopeSpans []struct {
+					Spans []struct{} `json:"spans"`
+				} `json:"scopeSpans"`
+			} `json:"resourceSpans"`
+		}
+		if r.URL.Path == "/v1/traces" && json.NewDecoder(r.Body).Decode(&req) == nil {
+			mu.Lock()
+			for _, rs := range req.ResourceSpans {
+				for _, ss := range rs.ScopeSpans {
+					spansSeen += len(ss.Spans)
+				}
+			}
+			mu.Unlock()
+		}
+		w.Write([]byte("{}")) //nolint:errcheck
+	}))
+	defer srv.Close()
+	obsr := obs.NewObserver(nRanks, 0)
+	healthy := run(obsr)
+	exp := obs.NewOTLPExporter(srv.URL, obs.OTLPOptions{Identity: obs.OTLPIdentity{RunID: "conf", WorldSize: nRanks}})
+	exp.ExportObserver(obsr, []int{0, 1, 2, 3}, 0)
+	if err := exp.Close(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	recorded := len(obsr.Driver().Spans())
+	for r := 0; r < nRanks; r++ {
+		recorded += len(obsr.Tracer(r).Spans())
+	}
+	mu.Lock()
+	if spansSeen != recorded || exp.Dropped() != 0 {
+		t.Fatalf("collector saw %d spans, observer holds %d (dropped %d)", spansSeen, recorded, exp.Dropped())
+	}
+	mu.Unlock()
+
+	// Unreachable collector: the run still matches the unobserved baseline.
+	dead := obs.NewOTLPExporter("http://127.0.0.1:1", obs.OTLPOptions{MaxRetries: 1})
+	obsr2 := obs.NewObserver(nRanks, 0)
+	broken := run(obsr2)
+	dead.ExportObserver(obsr2, []int{0, 1, 2, 3}, 0)
+	dead.Close(10 * time.Second) //nolint:errcheck // drops are the point
+	for name, res := range map[string]*dmgm.MatchParallelResult{"healthy": healthy, "broken": broken} {
+		if fmt.Sprint(plain.Mates) != fmt.Sprint(res.Mates) || plain.Weight != res.Weight {
+			t.Fatalf("%s export changed the matching: weight %v vs %v", name, plain.Weight, res.Weight)
+		}
+	}
+	if dead.Dropped() == 0 {
+		t.Error("unreachable collector must count drops")
 	}
 }

@@ -178,16 +178,10 @@ func (o *Observer) WriteTraceFile(path string, ranks []int, driverTID int) error
 	return o.WriteChrome(f, ranks, driverTID)
 }
 
-// WriteMetricsFile writes the registry snapshot as standalone JSON.
+// WriteMetricsFile writes the registry snapshot as standalone JSON, keys in
+// canonical (sorted) order so repeated exports diff cleanly.
 func (o *Observer) WriteMetricsFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	return enc.Encode(o.Registry().Snapshot())
+	return os.WriteFile(path, o.Registry().Snapshot().CanonicalJSONIndent(), 0o644)
 }
 
 // ReadTraceFile loads a trace written by WriteTraceFile or a shard merge; it
@@ -304,14 +298,7 @@ func MergeMetricsShards(path string, p int) error {
 		merged.Merge(&s)
 		os.Remove(shard)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(merged); err != nil {
+	if err := os.WriteFile(path, merged.CanonicalJSONIndent(), 0o644); err != nil {
 		return err
 	}
 	if len(missing) > 0 {

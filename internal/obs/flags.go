@@ -6,7 +6,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
+	"time"
 )
 
 // Flags is the standard observability flag block shared by the cmd/
@@ -28,7 +30,22 @@ type Flags struct {
 	HTTP string
 	// SpanCap is the per-rank span ring capacity (0 = default).
 	SpanCap int
+	// Sample switches detail spans from ring eviction to systematic
+	// sampling, keeping long-run tails representative (see
+	// Tracer.EnableDetailSampling).
+	Sample bool
+	// OTLP is the OTLP/HTTP collector base endpoint ("" = off), e.g.
+	// http://localhost:4318; spans go to /v1/traces, the registry to
+	// /v1/metrics, after the run completes.
+	OTLP string
+	// OTLPRun is the run id grouping this job's spans into one trace.
+	// Empty means: inherit DMGM_OTLP_RUN (set by the -launch supervisor so
+	// every worker shares one trace) or generate a fresh id.
+	OTLPRun string
 }
+
+// otlpRunEnv carries the run id from the -launch supervisor to its workers.
+const otlpRunEnv = "DMGM_OTLP_RUN"
 
 // RegisterFlags installs the observability flag block on the default flag
 // set.
@@ -39,12 +56,17 @@ func RegisterFlags() *Flags {
 	flag.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this address (workers add their rank to a fixed port)")
 	flag.StringVar(&f.HTTP, "http", "", "serve live observability on this address: /snapshot (per-rank per-tag-family traffic JSON for dmgm-trace -watch), /metrics, /debug/pprof (workers add their rank to a fixed port)")
 	flag.IntVar(&f.SpanCap, "trace-spans", 0, "per-rank span ring capacity (0 = 65536; older spans are overwritten)")
+	flag.BoolVar(&f.Sample, "trace-sample", false, "sample detail spans across the whole run instead of keeping only the newest when the ring overflows")
+	flag.StringVar(&f.OTLP, "otlp", "", "export spans and metrics to this OTLP/HTTP collector endpoint after the run (e.g. http://localhost:4318)")
+	flag.StringVar(&f.OTLPRun, "otlp-run", "", "run id grouping OTLP spans into one trace (default: inherited from the launch supervisor, or generated)")
 	return f
 }
 
 // Enabled reports whether any collection output was requested — a file
-// export or the live HTTP endpoint.
-func (f *Flags) Enabled() bool { return f.Trace != "" || f.Metrics != "" || f.HTTP != "" }
+// export, the live HTTP endpoint, or an OTLP push.
+func (f *Flags) Enabled() bool {
+	return f.Trace != "" || f.Metrics != "" || f.HTTP != "" || f.OTLP != ""
+}
 
 // NewObserver builds the observer the flags describe, or nil when
 // observability is off — the nil observer makes all instrumentation free.
@@ -53,10 +75,58 @@ func (f *Flags) NewObserver(ranks int) *Observer {
 		return nil
 	}
 	cap := f.SpanCap
-	if f.Trace == "" {
+	if f.Trace == "" && f.OTLP == "" {
 		cap = -1 // metrics only: no rings
 	}
-	return NewObserver(ranks, cap)
+	o := NewObserver(ranks, cap)
+	if f.Sample {
+		o.EnableDetailSampling()
+	}
+	return o
+}
+
+// RunID resolves the OTLP run id, in precedence order: the -otlp-run flag,
+// the DMGM_OTLP_RUN environment variable, a freshly generated id. The
+// resolved id is stored back into both the flag and the environment so a
+// -launch supervisor calling this before spawning workers hands every worker
+// the same id — which is what makes their OTLP exports one shard-consistent
+// trace.
+func (f *Flags) RunID() string {
+	if f.OTLPRun == "" {
+		f.OTLPRun = os.Getenv(otlpRunEnv)
+	}
+	if f.OTLPRun == "" {
+		f.OTLPRun = fmt.Sprintf("dmgm-%d-%d", time.Now().UnixNano(), os.Getpid())
+	}
+	os.Setenv(otlpRunEnv, f.OTLPRun) //nolint:errcheck // best-effort propagation
+	return f.OTLPRun
+}
+
+// ExportOTLP pushes the observer's spans and metrics to the -otlp endpoint.
+// Export is strictly post-run and best-effort: every failure is reported in
+// the returned error (for a stderr warning) and never affects the run's
+// results. No-op when the flag is unset or the observer is nil.
+func (f *Flags) ExportOTLP(o *Observer, localRanks []int, worldSize int) error {
+	if f.OTLP == "" || o == nil {
+		return nil
+	}
+	id := OTLPIdentity{RunID: f.RunID(), WorldSize: worldSize}
+	exp := NewOTLPExporter(f.OTLP, OTLPOptions{Identity: id, Registry: o.Registry()})
+	exp.ExportObserver(o, localRanks, 0)
+	err := exp.Close(10 * time.Second)
+	if dropped := exp.Dropped(); dropped > 0 {
+		err = fmt.Errorf("obs: otlp export to %s dropped %d batches (%w)", f.OTLP, dropped, errOrTimeout(err))
+	}
+	return err
+}
+
+// errOrTimeout keeps error wrapping simple when Close itself succeeded but
+// batches were dropped along the way.
+func errOrTimeout(err error) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("delivery failures; see collector logs")
 }
 
 // Write dumps the requested outputs for the given local ranks. In remote

@@ -116,11 +116,9 @@ func ServeLive(addr string, snap func() *LiveSnapshot) (string, error) {
 		if m == nil {
 			m = (*Registry)(nil).Snapshot()
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(m); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		// Canonical key order: repeated scrapes of an idle run are
+		// byte-identical, so golden tests and diff-based tooling stay stable.
+		w.Write(m.CanonicalJSONIndent()) //nolint:errcheck // best-effort scrape
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

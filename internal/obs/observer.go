@@ -34,6 +34,19 @@ func NewObserver(ranks, spanCap int) *Observer {
 	return o
 }
 
+// EnableDetailSampling switches every rank's tracer (and the driver's) from
+// ring eviction to systematic detail-span sampling, keeping long-run tails
+// representative. No-op on nil or a metrics-only observer.
+func (o *Observer) EnableDetailSampling() {
+	if o == nil {
+		return
+	}
+	for _, t := range o.tracers {
+		t.EnableDetailSampling()
+	}
+	o.driver.EnableDetailSampling()
+}
+
 // Size reports the rank count the observer was built for (0 on nil).
 func (o *Observer) Size() int {
 	if o == nil {

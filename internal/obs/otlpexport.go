@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OTLPExporter ships encoded OTLP/JSON request bodies to an OTLP/HTTP
+// collector from a background goroutine. The contract mirrors the rest of the
+// subsystem: a nil exporter is a valid disabled exporter (every method is a
+// nil-check no-op), and a live exporter can never block or fail the run —
+// enqueueing is non-blocking (a full queue drops the batch and counts it),
+// delivery errors are retried with exponential backoff honoring
+// Retry-After/429/503 semantics and finally counted as drops, never surfaced
+// as run errors. Memory is bounded by queueCap × batch size.
+type OTLPExporter struct {
+	endpoint string
+	id       OTLPIdentity
+	client   *http.Client
+	queue    chan otlpBatch
+	done     chan struct{}
+	// mu guards closed vs. the channel close: enqueue holds the read side so
+	// Close cannot close the queue between the closed check and the send.
+	mu       sync.RWMutex
+	closed   bool
+	closeOne sync.Once
+
+	maxRetries  int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	now         func() int64
+	sleep       func(time.Duration) // replaceable by tests
+
+	// Outcome accounting. Items are spans or metric data points.
+	exported atomic.Int64 // items delivered (2xx)
+	dropped  atomic.Int64 // items lost: full queue, exhausted retries, or non-retryable status
+	retries  atomic.Int64 // delivery attempts beyond the first
+
+	// droppedCtr mirrors dropped into the run's registry (obs.otlp_dropped)
+	// so drop accounting rides along every metrics export and trace sidecar.
+	droppedCtr  *Counter
+	exportedCtr *Counter
+}
+
+// otlpBatch is one pre-encoded HTTP request: body and target path, plus the
+// item count it carries for the outcome accounting.
+type otlpBatch struct {
+	path  string
+	body  []byte
+	items int64
+}
+
+// OTLPOptions configures NewOTLPExporter. The zero value of every field
+// selects a sane default.
+type OTLPOptions struct {
+	// Identity pins the resource attributes and trace identity.
+	Identity OTLPIdentity
+	// QueueCap bounds the number of in-flight batches (default 64); when the
+	// queue is full new batches are dropped and counted, never blocked on.
+	QueueCap int
+	// BatchSpans caps spans per trace request (default 512).
+	BatchSpans int
+	// MaxRetries bounds delivery attempts per batch (default 4 retries).
+	MaxRetries int
+	// BackoffBase is the first retry delay, doubling per attempt up to
+	// BackoffMax (defaults 250ms and 5s). A Retry-After response header
+	// overrides the computed delay.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Client is the HTTP client (default: 10s timeout).
+	Client *http.Client
+	// Registry, when set, receives the obs.otlp_dropped / obs.otlp_exported
+	// counters.
+	Registry *Registry
+	// Now is the clock for metric data-point timestamps (tests).
+	Now func() int64
+}
+
+// NewOTLPExporter starts the background delivery goroutine for the given
+// OTLP/HTTP base endpoint (e.g. http://localhost:4318 — the standard
+// /v1/traces and /v1/metrics paths are appended). Returns nil — the disabled
+// exporter — when endpoint is empty.
+func NewOTLPExporter(endpoint string, opt OTLPOptions) *OTLPExporter {
+	if endpoint == "" {
+		return nil
+	}
+	if opt.QueueCap <= 0 {
+		opt.QueueCap = 64
+	}
+	if opt.BatchSpans <= 0 {
+		opt.BatchSpans = 512
+	}
+	if opt.MaxRetries <= 0 {
+		opt.MaxRetries = 4
+	}
+	if opt.BackoffBase <= 0 {
+		opt.BackoffBase = 250 * time.Millisecond
+	}
+	if opt.BackoffMax <= 0 {
+		opt.BackoffMax = 5 * time.Second
+	}
+	if opt.Client == nil {
+		opt.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if opt.Now == nil {
+		opt.Now = wallNow
+	}
+	e := &OTLPExporter{
+		endpoint:    trimSlash(endpoint),
+		id:          opt.Identity,
+		client:      opt.Client,
+		queue:       make(chan otlpBatch, opt.QueueCap),
+		done:        make(chan struct{}),
+		maxRetries:  opt.MaxRetries,
+		backoffBase: opt.BackoffBase,
+		backoffMax:  opt.BackoffMax,
+		now:         opt.Now,
+		sleep:       time.Sleep,
+		droppedCtr:  opt.Registry.Counter("obs.otlp_dropped"),
+		exportedCtr: opt.Registry.Counter("obs.otlp_exported"),
+	}
+	go e.run()
+	return e
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// run is the delivery goroutine: it drains the queue until Close.
+func (e *OTLPExporter) run() {
+	defer close(e.done)
+	for b := range e.queue {
+		e.deliver(b)
+	}
+}
+
+// ExportSpans encodes and enqueues the given spans, split into bounded
+// per-request batches. Safe on a nil exporter.
+func (e *OTLPExporter) ExportSpans(spans []Span, batchSpans int) {
+	if e == nil || len(spans) == 0 {
+		return
+	}
+	if batchSpans <= 0 {
+		batchSpans = 512
+	}
+	for lo := 0; lo < len(spans); lo += batchSpans {
+		hi := lo + batchSpans
+		if hi > len(spans) {
+			hi = len(spans)
+		}
+		chunk := spans[lo:hi]
+		body, err := json.Marshal(EncodeOTLPSpans(chunk, e.id))
+		if err != nil {
+			e.drop(int64(len(chunk)))
+			continue
+		}
+		e.enqueue(otlpBatch{path: otlpTracesPath, body: body, items: int64(len(chunk))})
+	}
+}
+
+// ExportMetrics encodes and enqueues one registry snapshot. startNanos marks
+// the start of the cumulative window (0 = unknown). Safe on a nil exporter.
+func (e *OTLPExporter) ExportMetrics(s *MetricsSnapshot, startNanos int64) {
+	if e == nil || s == nil {
+		return
+	}
+	req := EncodeOTLPMetrics(s, e.id, startNanos, e.now())
+	var items int64
+	for _, rm := range req.ResourceMetrics {
+		for _, sm := range rm.ScopeMetrics {
+			for _, m := range sm.Metrics {
+				switch {
+				case m.Sum != nil:
+					items += int64(len(m.Sum.DataPoints))
+				case m.Gauge != nil:
+					items += int64(len(m.Gauge.DataPoints))
+				case m.Histogram != nil:
+					items += int64(len(m.Histogram.DataPoints))
+				}
+			}
+		}
+	}
+	if items == 0 {
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		e.drop(items)
+		return
+	}
+	e.enqueue(otlpBatch{path: otlpMetricsPath, body: body, items: items})
+}
+
+// ExportObserver ships the observer's spans (per local rank, plus the
+// driver's) and its registry snapshot. Safe on nil exporter or observer.
+func (e *OTLPExporter) ExportObserver(o *Observer, localRanks []int, batchSpans int) {
+	if e == nil || o == nil {
+		return
+	}
+	var startNanos int64
+	for _, r := range localRanks {
+		spans := o.Tracer(r).Spans()
+		if len(spans) > 0 && (startNanos == 0 || spans[0].Start < startNanos) {
+			startNanos = spans[0].Start
+		}
+		e.ExportSpans(spans, batchSpans)
+	}
+	e.ExportSpans(o.Driver().Spans(), batchSpans)
+	e.ExportMetrics(o.Registry().Snapshot(), startNanos)
+}
+
+// enqueue hands a batch to the delivery goroutine without ever blocking: a
+// full queue (slow or unreachable collector) drops the batch and counts it.
+func (e *OTLPExporter) enqueue(b otlpBatch) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		e.drop(b.items)
+		return
+	}
+	select {
+	case e.queue <- b:
+	default:
+		e.drop(b.items)
+	}
+}
+
+func (e *OTLPExporter) drop(items int64) {
+	e.dropped.Add(items)
+	e.droppedCtr.Add(items)
+}
+
+// deliver POSTs one batch, retrying transient failures with exponential
+// backoff. 429/503 Retry-After is honored; other 4xx statuses are permanent
+// and drop immediately.
+func (e *OTLPExporter) deliver(b otlpBatch) {
+	delay := e.backoffBase
+	for attempt := 0; ; attempt++ {
+		resp, err := e.client.Post(e.endpoint+b.path, "application/json", bytes.NewReader(b.body))
+		var status int
+		var retryAfter time.Duration
+		if err == nil {
+			status = resp.StatusCode
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for keep-alive
+			resp.Body.Close()
+			if status >= 200 && status < 300 {
+				e.exported.Add(b.items)
+				e.exportedCtr.Add(b.items)
+				return
+			}
+			if !retryableStatus(status) {
+				e.drop(b.items)
+				return
+			}
+		}
+		if attempt >= e.maxRetries {
+			e.drop(b.items)
+			return
+		}
+		e.retries.Add(1)
+		wait := delay
+		if wait > e.backoffMax {
+			wait = e.backoffMax
+		}
+		if retryAfter > 0 {
+			wait = retryAfter // the collector's explicit delay beats our backoff cap
+		}
+		e.sleep(wait)
+		if delay *= 2; delay > e.backoffMax {
+			delay = e.backoffMax
+		}
+	}
+}
+
+// retryableStatus reports whether the collector's answer is transient:
+// timeout, throttling, or a 5xx burst.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusRequestTimeout, http.StatusTooManyRequests:
+		return true
+	}
+	return status >= 500
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header
+// (the HTTP-date form is not worth a clock dependency here).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Close stops accepting batches, waits up to timeout for the queue to drain,
+// and returns an error when the deadline passed with batches still pending.
+// Safe on a nil exporter and safe to call twice.
+func (e *OTLPExporter) Close(timeout time.Duration) error {
+	if e == nil {
+		return nil
+	}
+	e.closeOne.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		close(e.queue)
+		e.mu.Unlock()
+	})
+	select {
+	case <-e.done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("obs: otlp exporter still draining after %v (pending batches dropped)", timeout)
+	}
+}
+
+// Exported reports items (spans + metric data points) delivered (0 on nil).
+func (e *OTLPExporter) Exported() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.exported.Load()
+}
+
+// Dropped reports items lost to a full queue, exhausted retries, or a
+// permanent collector error (0 on nil).
+func (e *OTLPExporter) Dropped() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.dropped.Load()
+}
+
+// Retries reports delivery attempts beyond each batch's first (0 on nil).
+func (e *OTLPExporter) Retries() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.retries.Load()
+}

@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -256,10 +259,24 @@ func (r *Registry) Snapshot() *MetricsSnapshot {
 
 // Merge folds o into s: counters, per-rank vectors, and histogram buckets
 // add; gauges keep the maximum. Vectors and histograms of mismatched shape
-// keep the longer/first shape and add what overlaps.
+// keep the longer/first shape and add what overlaps. s may come from a JSON
+// decode with nil maps (omitempty skips empty sections); Merge initializes
+// them on demand.
 func (s *MetricsSnapshot) Merge(o *MetricsSnapshot) {
 	if o == nil {
 		return
+	}
+	if s.Counters == nil && len(o.Counters) > 0 {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil && len(o.Gauges) > 0 {
+		s.Gauges = map[string]int64{}
+	}
+	if s.PerRank == nil && len(o.PerRank) > 0 {
+		s.PerRank = map[string][]int64{}
+	}
+	if s.Histograms == nil && len(o.Histograms) > 0 {
+		s.Histograms = map[string]HistogramSnapshot{}
 	}
 	for k, v := range o.Counters {
 		s.Counters[k] += v
@@ -294,6 +311,51 @@ func (s *MetricsSnapshot) Merge(o *MetricsSnapshot) {
 		cur.Count += h.Count
 		s.Histograms[k] = cur
 	}
+}
+
+// CanonicalJSON renders the snapshot with every registry key emitted in
+// SortedKeys order, built explicitly rather than trusting the json package's
+// map ordering, so repeated /metrics scrapes, metrics files, and golden
+// tests are byte-stable. Sections mirror the struct's omitempty behavior.
+func (s *MetricsSnapshot) CanonicalJSON() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	first := true
+	section := func(name string, keys []string, value func(string) any) {
+		if len(keys) == 0 {
+			return
+		}
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&buf, "%q:{", name)
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			v, _ := json.Marshal(value(k)) // values are ints, slices, structs: cannot fail
+			fmt.Fprintf(&buf, "%q:%s", k, v)
+		}
+		buf.WriteByte('}')
+	}
+	section("counters", SortedKeys(s.Counters), func(k string) any { return s.Counters[k] })
+	section("gauges", SortedKeys(s.Gauges), func(k string) any { return s.Gauges[k] })
+	section("perRank", SortedKeys(s.PerRank), func(k string) any { return s.PerRank[k] })
+	section("histograms", SortedKeys(s.Histograms), func(k string) any { return s.Histograms[k] })
+	buf.WriteByte('}')
+	return buf.Bytes()
+}
+
+// CanonicalJSONIndent is CanonicalJSON re-indented for files and scrapes
+// meant for human eyes.
+func (s *MetricsSnapshot) CanonicalJSONIndent() []byte {
+	var out bytes.Buffer
+	if err := json.Indent(&out, s.CanonicalJSON(), "", "  "); err != nil {
+		return s.CanonicalJSON()
+	}
+	out.WriteByte('\n')
+	return out.Bytes()
 }
 
 // SortedKeys returns map keys in deterministic order, for rendering.

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/perfmodel"
+)
+
+// ReplayFromTrace converts a recorded trace into the per-rank replay input
+// of perfmodel.Replay: top-level (non-detail) "X" spans become per-phase
+// observations, and the metrics sidecar's per-rank vectors become each
+// rank's whole-run profile (vertex/edge operations for calibration, traffic
+// aggregates and barrier epochs for the communication terms). Driver spans
+// are excluded — the model prices the bulk-synchronous rank schedule, not
+// the sequential driver work around it.
+func ReplayFromTrace(tf *TraceFile) ([]perfmodel.RankReplay, error) {
+	type phaseAgg struct {
+		seconds     float64
+		msgs, bytes int64
+	}
+	perRank := map[int]map[string]*phaseAgg{}
+	for _, e := range tf.Events {
+		if e.Ph != "X" || e.Cat == "detail" || e.PID == DriverPID {
+			continue
+		}
+		m := perRank[e.PID]
+		if m == nil {
+			m = map[string]*phaseAgg{}
+			perRank[e.PID] = m
+		}
+		a := m[e.Name]
+		if a == nil {
+			a = &phaseAgg{}
+			m[e.Name] = a
+		}
+		a.seconds += e.Dur / 1e6 // trace durations are microseconds
+		a.msgs += e.ArgInt("msgs")
+		a.bytes += e.ArgInt("bytes")
+	}
+	if len(perRank) == 0 {
+		return nil, fmt.Errorf("obs: trace has no rank phase spans to replay")
+	}
+
+	vec := func(name string) []int64 {
+		if tf.Metrics == nil {
+			return nil
+		}
+		return tf.Metrics.PerRank[name]
+	}
+	at := func(vals []int64, r int) int64 {
+		if r < 0 || r >= len(vals) {
+			return 0
+		}
+		return vals[r]
+	}
+	vops, eops := vec("mpi.vertex_ops"), vec("mpi.edge_ops")
+	msgs, bytes := vec("mpi.sent_msgs"), vec("mpi.sent_bytes")
+	epochs := vec("mpi.barrier_epochs")
+
+	var ranks []int
+	for r := range perRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	out := make([]perfmodel.RankReplay, 0, len(ranks))
+	for _, r := range ranks {
+		rr := perfmodel.RankReplay{
+			Rank: r,
+			Total: perfmodel.Profile{
+				VertexOps: at(vops, r),
+				EdgeOps:   at(eops, r),
+				Msgs:      at(msgs, r),
+				Bytes:     at(bytes, r),
+				Epochs:    at(epochs, r),
+			},
+		}
+		m := perRank[r]
+		for _, name := range SortedKeys(m) {
+			a := m[name]
+			rr.Phases = append(rr.Phases, perfmodel.PhaseObs{
+				Name: name, Seconds: a.seconds, Msgs: a.msgs, Bytes: a.bytes,
+			})
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+// TestReplayFromTrace: a recorded trace converts into per-rank replay input —
+// phase durations from the spans, whole-run profiles from the metrics
+// sidecar, detail and driver spans excluded.
+func TestReplayFromTrace(t *testing.T) {
+	tf := &TraceFile{
+		Events: []TraceEvent{
+			{Name: "process_name", Ph: "M", PID: 0},                       // metadata: ignored
+			{Name: "driver.partition", Ph: "X", PID: DriverPID, Dur: 5e6}, // driver: excluded
+			{Name: "match.rounds", Ph: "X", PID: 0, Dur: 2e6, Args: map[string]any{"msgs": int64(10), "bytes": int64(100)}},
+			{Name: "match.rounds", Ph: "X", PID: 0, Dur: 1e6},               // same phase: sums
+			{Name: "match.inner", Ph: "X", Cat: "detail", PID: 0, Dur: 9e6}, // detail: excluded
+			{Name: "match.rounds", Ph: "X", PID: 1, Dur: 4e6},
+		},
+		Metrics: &MetricsSnapshot{PerRank: map[string][]int64{
+			"mpi.vertex_ops":     {100, 200},
+			"mpi.edge_ops":       {50, 60},
+			"mpi.sent_msgs":      {10, 0},
+			"mpi.sent_bytes":     {100, 0},
+			"mpi.barrier_epochs": {7, 7},
+		}},
+	}
+	ranks, err := ReplayFromTrace(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 2 || ranks[0].Rank != 0 || ranks[1].Rank != 1 {
+		t.Fatalf("got ranks %+v, want 0 and 1", ranks)
+	}
+	r0 := ranks[0]
+	if len(r0.Phases) != 1 || r0.Phases[0].Name != "match.rounds" {
+		t.Fatalf("rank 0 phases: %+v (detail and driver spans must be excluded)", r0.Phases)
+	}
+	if got := r0.Phases[0]; got.Seconds != 3.0 || got.Msgs != 10 || got.Bytes != 100 {
+		t.Errorf("rank 0 phase aggregate: %+v, want 3s/10msgs/100bytes", got)
+	}
+	if r0.Total.VertexOps != 100 || r0.Total.EdgeOps != 50 || r0.Total.Msgs != 10 ||
+		r0.Total.Bytes != 100 || r0.Total.Epochs != 7 {
+		t.Errorf("rank 0 profile: %+v", r0.Total)
+	}
+	if ranks[1].Phases[0].Seconds != 4.0 || ranks[1].Total.VertexOps != 200 {
+		t.Errorf("rank 1: %+v", ranks[1])
+	}
+}
+
+// TestReplayFromTraceNoSpans: a metrics-only trace cannot replay.
+func TestReplayFromTraceNoSpans(t *testing.T) {
+	tf := &TraceFile{Metrics: (*Registry)(nil).Snapshot()}
+	if _, err := ReplayFromTrace(tf); err == nil {
+		t.Error("replay of a span-less trace must error")
+	}
+}
+
+// TestReplayFromTraceNoMetrics: a trace without the sidecar still converts —
+// zero profiles, phases intact.
+func TestReplayFromTraceNoMetrics(t *testing.T) {
+	tf := &TraceFile{Events: []TraceEvent{
+		{Name: "p", Ph: "X", PID: 0, Dur: 1e6},
+	}}
+	ranks, err := ReplayFromTrace(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 1 || ranks[0].Total != (perfmodel.Profile{}) {
+		t.Fatalf("got %+v, want one rank with a zero profile", ranks)
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestDetailSamplingSpansWholeRun: capacity C under N >> C detail spans must
+// retain samples spread across the entire run, not just its tail, while
+// Recorded() still counts every begin.
+func TestDetailSamplingSpansWholeRun(t *testing.T) {
+	const capacity = 16
+	const total = 10_000
+	tr := NewTracer(0, capacity)
+	tr.now = fakeClock()
+	tr.EnableDetailSampling()
+	for i := 0; i < total; i++ {
+		tr.EndN(tr.BeginDetail("inner"), int64(i))
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 || len(spans) > capacity {
+		t.Fatalf("retained %d samples, want 1..%d", len(spans), capacity)
+	}
+	// Coverage: the samples must reach into both the first and last deciles
+	// of the run, and be roughly uniformly spaced (systematic sampling).
+	first, last := spans[0].N, spans[len(spans)-1].N
+	if first >= total/10 {
+		t.Errorf("earliest sample at iteration %d: the head of the run was lost", first)
+	}
+	if last < total-total/5 {
+		t.Errorf("latest sample at iteration %d of %d: the tail was lost", last, total)
+	}
+	var maxGap int64
+	for i := 1; i < len(spans); i++ {
+		if gap := spans[i].N - spans[i-1].N; gap > maxGap {
+			maxGap = gap
+		}
+	}
+	// Systematic sampling with stride doubling keeps gaps within ~2x the
+	// ideal spacing; 4x is a generous bound that still catches tail-only
+	// retention (which would show one gap near `total`).
+	if ideal := int64(total / capacity); maxGap > 4*ideal {
+		t.Errorf("max gap between samples %d, want <= %d (uniform coverage)", maxGap, 4*ideal)
+	}
+	if tr.Recorded() != total {
+		t.Errorf("Recorded()=%d, want %d (every begin counts)", tr.Recorded(), total)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i-1].Seq >= spans[i].Seq {
+			t.Fatalf("samples out of order: seq %d then %d", spans[i-1].Seq, spans[i].Seq)
+		}
+	}
+}
+
+// TestDetailSamplingKeepsCoarseSpans: coarse spans are always recorded under
+// sampling mode, interleaved correctly with the sampled details.
+func TestDetailSamplingKeepsCoarseSpans(t *testing.T) {
+	tr := NewTracer(0, 8)
+	tr.now = fakeClock()
+	tr.EnableDetailSampling()
+	const phases = 5
+	for p := 0; p < phases; p++ {
+		tok := tr.Begin("phase")
+		for i := 0; i < 100; i++ {
+			tr.End(tr.BeginDetail("inner"))
+		}
+		tr.EndN(tok, int64(p))
+	}
+	var coarse, detail int
+	spans := tr.Spans()
+	for _, s := range spans {
+		if s.Detail {
+			detail++
+		} else {
+			coarse++
+		}
+	}
+	if coarse != phases {
+		t.Errorf("retained %d coarse spans, want all %d", coarse, phases)
+	}
+	if detail == 0 {
+		t.Error("sampling retained no detail spans at all")
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i-1].Seq >= spans[i].Seq {
+			t.Fatalf("merged spans out of order: seq %d then %d", spans[i-1].Seq, spans[i].Seq)
+		}
+	}
+	if tr.Recorded() != phases*101 {
+		t.Errorf("Recorded()=%d, want %d", tr.Recorded(), phases*101)
+	}
+}
+
+// TestDetailSamplingTrafficDeltas: an admitted sampled span still carries its
+// traffic delta; unadmitted begins return token 0 and End is a no-op.
+func TestDetailSamplingTrafficDeltas(t *testing.T) {
+	tr := NewTracer(0, 4)
+	tr.now = fakeClock()
+	tr.EnableDetailSampling()
+	var msgs, bytes int64
+	tr.SetStatsFunc(func() (int64, int64) { return msgs, bytes })
+	tok := tr.BeginDetail("inner") // first detail span: always admitted
+	if tok == 0 {
+		t.Fatal("first detail span must be admitted")
+	}
+	msgs, bytes = 3, 300
+	tr.EndN(tok, 1)
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Msgs != 3 || spans[0].Bytes != 300 {
+		t.Fatalf("sampled span traffic: %+v, want msgs=3 bytes=300", spans)
+	}
+}
+
+// TestSamplingFlagWiring: the -trace-sample flag reaches every tracer.
+func TestSamplingFlagWiring(t *testing.T) {
+	f := &Flags{Trace: "t.json", Sample: true}
+	o := f.NewObserver(2)
+	if o == nil || o.Tracer(0) == nil {
+		t.Fatal("trace flags must produce tracers")
+	}
+	tr := o.Tracer(1)
+	if tr.samples == nil {
+		t.Error("-trace-sample did not enable sampling on rank tracers")
+	}
+	if o.Driver().samples == nil {
+		t.Error("-trace-sample did not enable sampling on the driver tracer")
+	}
+}

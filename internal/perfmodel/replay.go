@@ -1,0 +1,157 @@
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Trace replay: drive the α–β–γ model with a recorded run instead of a live
+// one. A trace written by the -trace flag carries, per rank, the observed
+// wall time and traffic of every top-level phase, and (in the metrics
+// sidecar) the whole-run operation counters the algorithm charged. Replay
+// calibrates the machine's compute rate against the busiest rank, prices
+// each phase's communication from its recorded msgs/bytes, attributes the
+// calibrated compute pool to phases in proportion to their unexplained
+// (non-communication) time, and reports per-phase predicted-vs-observed
+// error — a quick check of how much of a run the model actually explains.
+
+// PhaseObs is one observed phase on one rank: summed wall time and traffic
+// of all its spans.
+type PhaseObs struct {
+	Name    string
+	Seconds float64
+	Msgs    int64
+	Bytes   int64
+}
+
+// RankReplay is one rank's recorded run: the per-phase observations plus the
+// whole-run profile from the metrics sidecar (operation counters, traffic
+// aggregates, barrier epochs).
+type RankReplay struct {
+	Rank   int
+	Phases []PhaseObs
+	Total  Profile
+}
+
+// PhaseError is one phase's model fit, aggregated across ranks (both sides
+// take the per-rank maximum — the bulk-synchronous bound the model prices).
+type PhaseError struct {
+	Name             string
+	ObservedSeconds  float64
+	PredictedSeconds float64
+	// ErrorPct is (predicted-observed)/observed·100; 0 when nothing was
+	// observed.
+	ErrorPct float64
+}
+
+// ReplayReport is the outcome of one replay.
+type ReplayReport struct {
+	// Machine is the input machine with compute rates calibrated against the
+	// busiest rank.
+	Machine Machine
+	// Phases lists per-phase fit, sorted by observed time descending.
+	Phases []PhaseError
+	// ObservedMakespan / PredictedMakespan compare whole-run totals (max
+	// over ranks of summed phase times).
+	ObservedMakespan  float64
+	PredictedMakespan float64
+	MakespanErrorPct  float64
+}
+
+// Replay fits m to a recorded run. The busiest rank (largest observed phase
+// total) calibrates the compute coefficients; every phase is then priced as
+// modeled communication (α·msgs + β·bytes) plus a share of that rank's
+// calibrated compute pool, attributed proportionally to the phase's
+// observed time left unexplained by communication.
+func Replay(m Machine, ranks []RankReplay) (*ReplayReport, error) {
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("perfmodel: replay needs at least one rank")
+	}
+	// Calibrate on the busiest rank: its observed total against its profile.
+	busy, busyTotal := -1, 0.0
+	for i, r := range ranks {
+		var total float64
+		for _, ph := range r.Phases {
+			total += ph.Seconds
+		}
+		if busy < 0 || total > busyTotal {
+			busy, busyTotal = i, total
+		}
+	}
+	cal, err := m.Calibrate(ranks[busy].Total, busyTotal)
+	if err != nil {
+		// No compute recorded (metrics sidecar absent): keep the machine's
+		// built-in rates and still price communication.
+		cal = m
+	}
+
+	obs := map[string]float64{}  // phase -> max observed over ranks
+	pred := map[string]float64{} // phase -> max predicted over ranks
+	var obsMakespan, predMakespan float64
+	for _, r := range ranks {
+		// The rank's calibrated compute pool, attributed to phases below.
+		pool := float64(r.Total.VertexOps)*cal.GammaVertex + float64(r.Total.EdgeOps)*cal.GammaEdge
+		comm := make([]float64, len(r.Phases))
+		var residual float64
+		for i, ph := range r.Phases {
+			comm[i] = float64(ph.Msgs)*cal.Alpha + float64(ph.Bytes)*cal.Beta
+			if left := ph.Seconds - comm[i]; left > 0 {
+				residual += left
+			}
+		}
+		var rankObs, rankPred float64
+		for i, ph := range r.Phases {
+			p := comm[i]
+			if residual > 0 {
+				if left := ph.Seconds - comm[i]; left > 0 {
+					p += pool * (left / residual)
+				}
+			}
+			if ph.Seconds > obs[ph.Name] {
+				obs[ph.Name] = ph.Seconds
+			}
+			if p > pred[ph.Name] {
+				pred[ph.Name] = p
+			}
+			rankObs += ph.Seconds
+			rankPred += p
+		}
+		if rankObs > obsMakespan {
+			obsMakespan = rankObs
+		}
+		if rankPred > predMakespan {
+			predMakespan = rankPred
+		}
+	}
+
+	rep := &ReplayReport{
+		Machine:           cal,
+		ObservedMakespan:  obsMakespan,
+		PredictedMakespan: predMakespan,
+		MakespanErrorPct:  errorPct(predMakespan, obsMakespan),
+	}
+	for name, o := range obs {
+		rep.Phases = append(rep.Phases, PhaseError{
+			Name:             name,
+			ObservedSeconds:  o,
+			PredictedSeconds: pred[name],
+			ErrorPct:         errorPct(pred[name], o),
+		})
+	}
+	sort.Slice(rep.Phases, func(i, j int) bool {
+		if rep.Phases[i].ObservedSeconds != rep.Phases[j].ObservedSeconds {
+			return rep.Phases[i].ObservedSeconds > rep.Phases[j].ObservedSeconds
+		}
+		return rep.Phases[i].Name < rep.Phases[j].Name
+	})
+	return rep, nil
+}
+
+// errorPct computes signed relative error in percent; zero when nothing was
+// observed (no meaningful baseline).
+func errorPct(pred, obs float64) float64 {
+	if obs <= 0 {
+		return 0
+	}
+	return (pred - obs) / obs * 100
+}

@@ -1,0 +1,95 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestReplayExactFit: when the observed phases are exactly explained by the
+// model (pure compute split across phases, pure communication phases), the
+// replay reports ~0% error everywhere.
+func TestReplayExactFit(t *testing.T) {
+	m := BlueGeneP()
+	commSecs := 1000*m.Alpha + 1e6*m.Beta
+	ranks := []RankReplay{{
+		Rank: 0,
+		Phases: []PhaseObs{
+			{Name: "match.init", Seconds: 1.0},
+			{Name: "match.rounds", Seconds: 2.0},
+			{Name: "match.exchange", Seconds: commSecs, Msgs: 1000, Bytes: 1e6},
+		},
+		Total: Profile{VertexOps: 1000, EdgeOps: 500, Msgs: 1000, Bytes: 1e6},
+	}}
+	rep, err := Replay(m, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Phases {
+		if math.Abs(p.ErrorPct) > 0.5 {
+			t.Errorf("phase %s: %.2f%% error, want ~0 (obs=%g pred=%g)",
+				p.Name, p.ErrorPct, p.ObservedSeconds, p.PredictedSeconds)
+		}
+	}
+	if math.Abs(rep.MakespanErrorPct) > 0.5 {
+		t.Errorf("makespan error %.2f%%, want ~0", rep.MakespanErrorPct)
+	}
+	// Phases sort by observed time descending.
+	for i := 1; i < len(rep.Phases); i++ {
+		if rep.Phases[i-1].ObservedSeconds < rep.Phases[i].ObservedSeconds {
+			t.Errorf("phases not sorted by observed time: %v", rep.Phases)
+		}
+	}
+	// Calibration rescaled compute onto the observed residual: the busy
+	// rank's modeled compute pool equals observed-minus-communication.
+	pool := float64(1000)*rep.Machine.GammaVertex + float64(500)*rep.Machine.GammaEdge
+	if want := 3.0; math.Abs(pool-want) > 1e-9 {
+		t.Errorf("calibrated pool %g, want %g", pool, want)
+	}
+}
+
+// TestReplayBusiestRankCalibrates: the rank with the largest observed total
+// drives calibration and the makespan.
+func TestReplayBusiestRank(t *testing.T) {
+	m := BlueGeneP()
+	ranks := []RankReplay{
+		{Rank: 0, Phases: []PhaseObs{{Name: "p", Seconds: 1.0}}, Total: Profile{VertexOps: 100}},
+		{Rank: 1, Phases: []PhaseObs{{Name: "p", Seconds: 4.0}}, Total: Profile{VertexOps: 100}},
+	}
+	rep, err := Replay(m, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ObservedMakespan != 4.0 {
+		t.Errorf("observed makespan %g, want 4 (the slow rank)", rep.ObservedMakespan)
+	}
+	// Calibrated against rank 1: its pool is 4s, so its prediction is exact;
+	// rank 0 gets the same per-op rate and predicts 4s too (same op counts),
+	// and the phase maximum is the straggler's.
+	if p := rep.Phases[0]; math.Abs(p.PredictedSeconds-4.0) > 1e-9 || p.ObservedSeconds != 4.0 {
+		t.Errorf("phase fit: %+v", p)
+	}
+}
+
+// TestReplayNoComputeProfile: a trace without the metrics sidecar (no op
+// counters) still replays — communication priced, compute left at zero.
+func TestReplayNoComputeProfile(t *testing.T) {
+	m := BlueGeneP()
+	ranks := []RankReplay{{
+		Rank:   0,
+		Phases: []PhaseObs{{Name: "p", Seconds: 0.5, Msgs: 10, Bytes: 100}},
+	}}
+	rep, err := Replay(m, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPred := 10*m.Alpha + 100*m.Beta
+	if p := rep.Phases[0]; math.Abs(p.PredictedSeconds-wantPred) > 1e-12 {
+		t.Errorf("predicted %g, want pure communication %g", p.PredictedSeconds, wantPred)
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	if _, err := Replay(BlueGeneP(), nil); err == nil {
+		t.Error("replay of zero ranks must error")
+	}
+}
