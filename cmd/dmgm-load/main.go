@@ -1,0 +1,227 @@
+// Command dmgm-load drives a dmgm-serve daemon with concurrent matching
+// and coloring jobs and reports throughput and client-side latency
+// percentiles. It is the service's load generator and smoke harness: CI
+// starts a daemon, points dmgm-load at it, and asserts zero failures plus
+// a warm result cache.
+//
+// Usage:
+//
+//	dmgm-load -addr 127.0.0.1:8321 -in graph.txt -algo both -n 32 -c 8
+//	dmgm-load -addr 127.0.0.1:8321 -in graph.bin -algo match -require-cached
+//	dmgm-load -addr 127.0.0.1:8321 -in graph.txt -json > load.json
+//
+// Jobs cycle through -distinct seeds, so any run with -n greater than
+// -distinct resubmits identical requests and exercises the result cache.
+// Shed submissions (429/503) are retried with the server's Retry-After
+// hint; a job only counts as failed when its retries are exhausted or the
+// request itself is rejected. Exit status is non-zero on any failure, and
+// on a cold cache under -require-cached.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8321", "dmgm-serve address")
+		in       = flag.String("in", "", "graph file (text or .bin); sent inline with every job")
+		algo     = flag.String("algo", "both", "job mix: match | color | both")
+		n        = flag.Int("n", 32, "jobs per algorithm")
+		c        = flag.Int("c", 8, "concurrent submitters")
+		ranks    = flag.Int("p", 4, "ranks per job")
+		seed     = flag.Uint64("seed", 1, "base seed")
+		distinct = flag.Int("distinct", 4, "distinct seeds cycled across jobs; n beyond it repeats requests and hits the cache")
+		part     = flag.String("partition", "multilevel", "partitioner: multilevel | bfs | block | random")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-job client deadline")
+		retries  = flag.Int("retry", 8, "max retries per job on 429/503 backpressure")
+		wait     = flag.Duration("wait", 10*time.Second, "how long to wait for the server to come up")
+		requireC = flag.Bool("require-cached", false, "fail unless the server reports cache hits > 0 after the run")
+		jsonOut  = flag.Bool("json", false, "print the summary as JSON")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "dmgm-load: -in graph file is required")
+		os.Exit(2)
+	}
+	var algos []string
+	switch *algo {
+	case "match":
+		algos = []string{service.AlgoMatch}
+	case "color":
+		algos = []string{service.AlgoColor}
+	case "both":
+		algos = []string{service.AlgoMatch, service.AlgoColor}
+	default:
+		fmt.Fprintf(os.Stderr, "dmgm-load: unknown -algo %q: want match | color | both\n", *algo)
+		os.Exit(2)
+	}
+	if *distinct < 1 {
+		*distinct = 1
+	}
+
+	// Load the graph once and ship it inline as text with every request —
+	// the daemon needs no filesystem access and a .bin input works the same.
+	g, err := graph.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-load: %v\n", err)
+		os.Exit(1)
+	}
+	var gtext strings.Builder
+	if err := graph.WriteText(&gtext, g); err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	cl := client.New(*addr)
+	ctx := context.Background()
+	if err := cl.WaitReady(ctx, *wait); err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Build the full job list up front, then let -c submitters drain it.
+	type jobSpec struct {
+		algo string
+		seed uint64
+	}
+	var specs []jobSpec
+	for _, a := range algos {
+		for i := 0; i < *n; i++ {
+			specs = append(specs, jobSpec{algo: a, seed: *seed + uint64(i%*distinct)})
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		cached    int
+		failures  []string
+		attempts  atomic.Int64
+		next      atomic.Int64
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				spec := specs[i]
+				req := &service.Request{
+					Algorithm: spec.algo,
+					Graph:     gtext.String(),
+					Ranks:     *ranks,
+					Partition: *part,
+					Seed:      spec.seed,
+				}
+				jctx, cancel := context.WithTimeout(ctx, *timeout)
+				t0 := time.Now()
+				resp, att, err := cl.SubmitRetry(jctx, req, *retries)
+				lat := time.Since(t0)
+				cancel()
+				attempts.Add(int64(att))
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, fmt.Sprintf("%s seed=%d: %v", spec.algo, spec.seed, err))
+				} else {
+					latencies = append(latencies, lat)
+					if resp.Cached {
+						cached++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Server-side counters close the loop: client-observed "cached" answers
+	// and the daemon's own hit counter should both be non-zero on repeats.
+	var serverHits, serverRejects int64
+	if m, err := cl.Metrics(ctx); err == nil {
+		serverHits = m.Counters["service.cache_hits"]
+		serverRejects = m.Counters["service.jobs_rejected"]
+	} else {
+		fmt.Fprintf(os.Stderr, "dmgm-load: metrics scrape: %v\n", err)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	summary := struct {
+		Jobs          int     `json:"jobs"`
+		OK            int     `json:"ok"`
+		Failed        int     `json:"failed"`
+		Cached        int     `json:"cached"`
+		ServerHits    int64   `json:"server_cache_hits"`
+		ServerRejects int64   `json:"server_rejects"`
+		Attempts      int64   `json:"attempts"`
+		Seconds       float64 `json:"seconds"`
+		JobsPerSec    float64 `json:"jobs_per_sec"`
+		P50Millis     float64 `json:"p50_ms"`
+		P90Millis     float64 `json:"p90_ms"`
+		P99Millis     float64 `json:"p99_ms"`
+		MaxMillis     float64 `json:"max_ms"`
+	}{
+		Jobs:          len(specs),
+		OK:            len(latencies),
+		Failed:        len(failures),
+		Cached:        cached,
+		ServerHits:    serverHits,
+		ServerRejects: serverRejects,
+		Attempts:      attempts.Load(),
+		Seconds:       elapsed.Seconds(),
+		P50Millis:     float64(pct(0.50)) / float64(time.Millisecond),
+		P90Millis:     float64(pct(0.90)) / float64(time.Millisecond),
+		P99Millis:     float64(pct(0.99)) / float64(time.Millisecond),
+		MaxMillis:     float64(pct(1.0)) / float64(time.Millisecond),
+	}
+	if elapsed > 0 {
+		summary.JobsPerSec = float64(len(latencies)) / elapsed.Seconds()
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(summary) //nolint:errcheck // stdout
+	} else {
+		fmt.Printf("jobs %d  ok %d  failed %d  cached %d (server hits %d, rejects %d)  attempts %d\n",
+			summary.Jobs, summary.OK, summary.Failed, summary.Cached, serverHits, serverRejects, summary.Attempts)
+		fmt.Printf("elapsed %.2fs  throughput %.1f jobs/s\n", summary.Seconds, summary.JobsPerSec)
+		fmt.Printf("latency p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",
+			summary.P50Millis, summary.P90Millis, summary.P99Millis, summary.MaxMillis)
+	}
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "dmgm-load: failed: %s\n", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	if *requireC && serverHits == 0 {
+		fmt.Fprintln(os.Stderr, "dmgm-load: -require-cached: server reports zero cache hits")
+		os.Exit(1)
+	}
+}

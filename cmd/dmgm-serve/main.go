@@ -1,0 +1,124 @@
+// Command dmgm-serve is the long-running dmgm job daemon: it accepts
+// matching and coloring jobs over HTTP JSON (POST /v1/jobs, see
+// docs/PROTOCOL.md §6) and executes them on a pool of reusable in-process
+// mpi worlds, with a bounded admission queue (429 + Retry-After under
+// overload), per-job deadlines, an LRU result cache keyed by graph
+// fingerprint, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	dmgm-serve -addr :8321
+//	dmgm-serve -addr :8321 -workers 4 -queue 64 -cache 256
+//	dmgm-serve -addr :8321 -allow-paths            # permit graph_path jobs
+//	dmgm-serve -addr :8321 -http :9321             # live obs endpoint too
+//	dmgm-serve -addr :8321 -otlp http://localhost:4318
+//
+// Submit with curl (inline graph, text edge-list format):
+//
+//	curl -s localhost:8321/v1/jobs -d '{
+//	  "algorithm": "match", "ranks": 2,
+//	  "graph": "g 3 2\ne 0 1 1.5\ne 1 2 2\n"
+//	}'
+//
+// Drive it at scale with dmgm-load.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	of := obs.RegisterFlags()
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8321", "HTTP listen address for the job API")
+		queueLen     = flag.Int("queue", 32, "admission queue bound; beyond it submissions are shed with 429")
+		workers      = flag.Int("workers", 2, "jobs executed concurrently (each drives one world of <ranks> goroutines)")
+		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-job deadline (queue wait + run); requests may shorten it")
+		cacheEntries = flag.Int("cache", 128, "result-cache entries (negative disables)")
+		maxRanks     = flag.Int("max-ranks", 64, "per-job rank bound")
+		allowPaths   = flag.Bool("allow-paths", false, "permit graph_path requests (daemon-local file reads); trusted callers only")
+		drainWait    = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before abandoning queued jobs")
+	)
+	flag.Parse()
+
+	// The daemon always carries an observer: /metrics is part of the service
+	// surface, and per-job spans cost nothing to keep in the driver ring.
+	obsr := obs.NewObserver(0, of.SpanCap)
+	if of.Sample {
+		obsr.EnableDetailSampling()
+	}
+	srv := service.NewServer(service.Config{
+		QueueLen:        *queueLen,
+		Workers:         *workers,
+		DefaultTimeout:  *timeout,
+		CacheEntries:    *cacheEntries,
+		MaxRanks:        *maxRanks,
+		AllowGraphPaths: *allowPaths,
+		Observer:        obsr,
+	})
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-serve: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // Shutdown's error is the one that matters
+	fmt.Fprintf(os.Stderr, "dmgm-serve: listening on http://%s (POST /v1/jobs, GET /healthz /metrics /snapshot)\n", ln.Addr())
+
+	if of.HTTP != "" {
+		liveAddr, err := obs.ServeLive(of.HTTP, srv.LiveSnapshot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmgm-serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dmgm-serve: live observability on http://%s (watch with: dmgm-trace -watch %s)\n", liveAddr, liveAddr)
+	}
+	if of.Pprof != "" {
+		pprofAddr, err := obs.ServePprof(of.Pprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmgm-serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dmgm-serve: pprof on http://%s/debug/pprof/\n", pprofAddr)
+	}
+
+	// Graceful drain: stop admitting (healthz flips to 503 so balancers pull
+	// the instance), let queued and running jobs finish within the budget,
+	// then stop the workers and flush observability outputs.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	<-sigCtx.Done()
+	fmt.Fprintln(os.Stderr, "dmgm-serve: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	code := 0
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-serve: %v\n", err)
+		code = 1
+	}
+	srv.Stop()
+	hs.Shutdown(context.Background()) //nolint:errcheck // listeners are going away with the process
+	if err := of.Write(obsr, nil, 0, false); err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-serve: %v\n", err)
+		code = 1
+	}
+	if err := of.ExportOTLP(obsr, nil, 0); err != nil {
+		// Export is best-effort: warn, never fail the drain.
+		fmt.Fprintf(os.Stderr, "dmgm-serve: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "dmgm-serve: drained")
+	os.Exit(code)
+}

@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// fingerprintVersion is folded into the hash so the fingerprint can be
+// evolved without old values silently colliding with new ones.
+const fingerprintVersion = 1
+
+// Fingerprint returns a stable content hash of the graph: SHA-256 over a
+// little-endian serialization of the vertex count, the CSR offsets, the
+// adjacency lists, and the weights (with an explicit marker separating the
+// unweighted case from all-1.0 weights). Two graphs fingerprint equally iff
+// they have identical CSR content, which — since BuildUndirected sorts
+// adjacency deterministically — means identical vertex/edge/weight sets.
+//
+// The serving layer keys its result cache on (Fingerprint, algorithm,
+// params); the conformance suite can use it to assert two result-producing
+// paths consumed the same input.
+func Fingerprint(g *Graph) string {
+	h := sha256.New()
+	var buf [8]byte
+	word := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	word(uint64(fingerprintVersion))
+	word(uint64(g.NumVertices()))
+	hashInt64s(h, g.Xadj)
+	word(uint64(len(g.Adj)))
+	for _, v := range g.Adj {
+		word(uint64(uint32(v)))
+	}
+	if g.W == nil {
+		word(0) // unweighted marker: distinct from any weight array
+	} else {
+		word(1)
+		for _, wt := range g.W {
+			word(math.Float64bits(wt))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashInt64s(h hash.Hash, xs []int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(xs)))
+	h.Write(buf[:])
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"regexp"
+	"testing"
+)
+
+// fpGraph builds a small weighted graph for fingerprint tests.
+func fpGraph(t *testing.T, n int, edges []Edge) *Graph {
+	t.Helper()
+	g, err := BuildUndirected(n, edges, DedupeFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1, W: 2.5}, {U: 1, V: 2, W: 1}, {U: 0, V: 3, W: 7}}
+	a := fpGraph(t, 4, edges)
+	b := fpGraph(t, 4, edges)
+	fa, fb := Fingerprint(a), Fingerprint(b)
+	if fa != fb {
+		t.Fatalf("identical graphs fingerprint differently: %s vs %s", fa, fb)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(fa) {
+		t.Fatalf("fingerprint is not 64 hex chars: %q", fa)
+	}
+	// Edge order on input must not matter: CSR construction sorts.
+	c := fpGraph(t, 4, []Edge{{U: 0, V: 3, W: 7}, {U: 1, V: 2, W: 1}, {U: 0, V: 1, W: 2.5}})
+	if Fingerprint(c) != fa {
+		t.Fatal("input edge order changed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpGraph(t, 4, []Edge{{U: 0, V: 1, W: 2.5}, {U: 1, V: 2, W: 1}})
+	fp := Fingerprint(base)
+	cases := map[string]*Graph{
+		"weight changed":  fpGraph(t, 4, []Edge{{U: 0, V: 1, W: 2.6}, {U: 1, V: 2, W: 1}}),
+		"edge moved":      fpGraph(t, 4, []Edge{{U: 0, V: 1, W: 2.5}, {U: 1, V: 3, W: 1}}),
+		"edge added":      fpGraph(t, 4, []Edge{{U: 0, V: 1, W: 2.5}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1}}),
+		"vertex appended": fpGraph(t, 5, []Edge{{U: 0, V: 1, W: 2.5}, {U: 1, V: 2, W: 1}}),
+	}
+	for name, g := range cases {
+		if Fingerprint(g) == fp {
+			t.Errorf("%s: fingerprint did not change", name)
+		}
+	}
+}
+
+func TestFingerprintUnweightedDistinct(t *testing.T) {
+	// An unweighted graph must not collide with the same topology carrying
+	// explicit all-1.0 weights: algorithms treat them identically, but the
+	// cache key must reflect the stored content exactly.
+	weighted := fpGraph(t, 3, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}})
+	unweighted := &Graph{Xadj: weighted.Xadj, Adj: weighted.Adj, W: nil}
+	if Fingerprint(weighted) == Fingerprint(unweighted) {
+		t.Fatal("unweighted graph collides with all-1.0 weighted graph")
+	}
+}
+
+// TestFingerprintGolden pins the serialization: a change to the hash layout
+// must bump fingerprintVersion, and this golden value, deliberately —
+// otherwise cached results from older daemons would be served for what is
+// now a different key space.
+func TestFingerprintGolden(t *testing.T) {
+	g := fpGraph(t, 3, []Edge{{U: 0, V: 1, W: 1.5}, {U: 1, V: 2, W: 2}})
+	const want = "a37b3f7ca9cb2877fbf1080b29df5af05bcdb037f8511b8f62bee9c5bd33a658"
+	if got := Fingerprint(g); got != want {
+		t.Fatalf("fingerprint layout drifted:\n got %s\nwant %s\n(bump fingerprintVersion and update this golden deliberately)", got, want)
+	}
+}

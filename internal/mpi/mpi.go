@@ -69,8 +69,9 @@ type World struct {
 	// Run body returned.
 	finalVTime []atomic.Uint64
 
-	runMu sync.Mutex
-	ran   bool
+	runMu   sync.Mutex
+	ran     bool
+	running bool // a Run is in flight (or its ranks have not all returned)
 }
 
 // Option configures a World.
@@ -171,18 +172,22 @@ func Run(size int, fn func(c *Comm) error, opts ...Option) error {
 	return w.Run(fn)
 }
 
-// Run executes fn once per local rank of w. A World must not be reused: a
-// second call returns an error immediately (mailboxes, barriers, and the
-// transport are all in their post-run state).
+// Run executes fn once per local rank of w. A World is single-use by
+// default: a second call returns an error immediately (mailboxes and traffic
+// counters are in their post-run state). An all-local world can be returned
+// to a runnable state with Reset, which is how the serving layer's World
+// pool reuses rank worlds across jobs.
 func (w *World) Run(fn func(c *Comm) error) error {
 	w.runMu.Lock()
 	ran := w.ran
 	w.ran = true
+	w.running = !ran
 	w.runMu.Unlock()
 	if ran {
-		return fmt.Errorf("mpi: World.Run called twice; create a fresh World per run")
+		return fmt.Errorf("mpi: World.Run called twice; create a fresh World per run, or Reset this one")
 	}
 	if err := w.tr.Start(); err != nil {
+		w.setNotRunning()
 		return fmt.Errorf("mpi: transport start: %w", err)
 	}
 	runErr := w.run(fn)
@@ -286,9 +291,16 @@ func (w *World) run(fn func(c *Comm) error) error {
 			w.finalVTime[rank].Store(math.Float64bits(c.vclock))
 		}(i, r)
 	}
+	// running flips back only when every rank goroutine has actually
+	// returned — on the deadline path below, run returns while stuck ranks
+	// are still live, and Reset must keep refusing until they are gone.
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		w.setNotRunning()
+		close(finished)
+	}()
 	if w.deadline > 0 {
-		finished := make(chan struct{})
-		go func() { wg.Wait(); close(finished) }()
 		select {
 		case <-finished:
 		case <-time.After(w.deadline):
@@ -315,7 +327,7 @@ func (w *World) run(fn func(c *Comm) error) error {
 			return fmt.Errorf("mpi: deadline exceeded; ranks still running: %v", stuck)
 		}
 	} else {
-		wg.Wait()
+		<-finished
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -323,6 +335,48 @@ func (w *World) run(fn func(c *Comm) error) error {
 		}
 	}
 	return nil
+}
+
+func (w *World) setNotRunning() {
+	w.runMu.Lock()
+	w.running = false
+	w.runMu.Unlock()
+}
+
+// Reset returns a completed all-local World to a runnable state so the next
+// Run starts from scratch: every mailbox is drained (the count of discarded
+// stale messages is returned), all per-rank traffic counters and virtual
+// clocks are zeroed, and the mailbox round-robin cursors rewind so a reused
+// World receives in exactly the same order as a fresh one — results stay
+// bit-identical across pool reuse. The cyclic barrier and the collective
+// slots need no resetting (each use overwrites them); the inproc transport's
+// Start/Close are stateless.
+//
+// Reset fails on a World with a remote transport (its wire state is
+// genuinely single-use) and on a World whose ranks have not all returned —
+// a deadline-abandoned run may still have goroutines mutating mailboxes, in
+// which case the World must be discarded, not recycled. The serving layer's
+// World pool calls Reset between jobs and drops the World on any error.
+func (w *World) Reset() (stale int, err error) {
+	if !w.allLocal {
+		return 0, fmt.Errorf("mpi: Reset on a world with a remote transport")
+	}
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+	if w.running {
+		return 0, fmt.Errorf("mpi: Reset while ranks are still running")
+	}
+	for _, r := range w.local {
+		stale += w.boxes[r].drainAll()
+		w.stats[r].reset()
+		w.finalVTime[r].Store(0)
+	}
+	// Drop references to the last run's allgather payloads.
+	for i := range w.coll.bytes {
+		w.coll.bytes[i] = nil
+	}
+	w.ran = false
+	return stale, nil
 }
 
 // LocalRanks lists the ranks this World instance hosts — all of them for the
@@ -645,6 +699,21 @@ func (mb *mailbox) get(block bool, pick uint64) (Message, bool) {
 	mb.queues[chosen] = q[1:]
 	mb.pending--
 	return m, true
+}
+
+// drainAll empties the mailbox, returning how many messages were discarded,
+// and rewinds the round-robin cursor so receive order after a Reset matches
+// a fresh mailbox.
+func (mb *mailbox) drainAll() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	n := mb.pending
+	for s := range mb.queues {
+		mb.queues[s] = nil
+	}
+	mb.pending = 0
+	mb.next = 0
+	return n
 }
 
 // drainTag removes all pending messages with the given tag, returning how

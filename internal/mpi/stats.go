@@ -114,6 +114,22 @@ func (rc *rankCounters) countRecvRuntime(bytes int64) {
 	rc.fam[FamilyRuntime].recvBytes.Add(bytes)
 }
 
+// reset zeroes every counter, aggregate and per-family — the per-job stats
+// isolation World.Reset gives pooled worlds. Only called between runs, when
+// no rank goroutine is writing.
+func (rc *rankCounters) reset() {
+	rc.sentMsgs.Store(0)
+	rc.sentBytes.Store(0)
+	rc.recvMsgs.Store(0)
+	rc.recvBytes.Store(0)
+	for f := range rc.fam {
+		rc.fam[f].sentMsgs.Store(0)
+		rc.fam[f].sentBytes.Store(0)
+		rc.fam[f].recvMsgs.Store(0)
+		rc.fam[f].recvBytes.Store(0)
+	}
+}
+
 // snapshot reads the counters. The loads are individually atomic, not a
 // consistent cut — momentary skew between fields is inherent to live
 // polling and irrelevant to end-of-run reads.

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a mutex-guarded LRU over completed job responses, keyed by
+// Request.cacheKey — (graph fingerprint, algorithm, result-relevant
+// params). Entries store the Response template by value; get returns a
+// copy, so cached answers can be stamped with a fresh job id without racing
+// other hits.
+//
+// Capacity is an entry count, not bytes: a result's dominant cost is the
+// text serialization, which is proportional to the graph the caller already
+// shipped inline, so a small entry bound keeps memory proportional to
+// recent traffic.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	key string
+	val Response
+}
+
+// newResultCache builds a cache holding up to cap entries; cap <= 0
+// disables caching (every lookup misses, every store is dropped).
+func newResultCache(cap int) *resultCache {
+	return &resultCache{cap: cap, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns a copy of the cached response and marks the entry recently
+// used.
+func (c *resultCache) get(key string) (Response, bool) {
+	if c.cap <= 0 {
+		return Response{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return Response{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores (or refreshes) a response, evicting the least recently used
+// entry beyond capacity. Returns the number of evictions (0 or 1).
+func (c *resultCache) put(key string, val Response) int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() <= c.cap {
+		return 0
+	}
+	last := c.ll.Back()
+	c.ll.Remove(last)
+	delete(c.m, last.Value.(*cacheEntry).key)
+	return 1
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

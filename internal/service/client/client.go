@@ -1,0 +1,198 @@
+// Package client is the Go client of the dmgm job service: typed
+// submission against the HTTP surface of internal/service (specified in
+// docs/PROTOCOL.md §6), with backpressure-aware retries that honor the
+// server's Retry-After hints. cmd/dmgm-load drives a daemon through this
+// package; in-module code embedding the daemon can use it against an
+// httptest server just the same.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// APIError is a non-200 service answer.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error string.
+	Message string
+	// RetryAfter is the server's backpressure hint (0 if absent). Set on
+	// 429 (queue full) and 503 (draining) answers.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
+}
+
+// Retryable reports whether the error is pure backpressure — the request
+// was fine, the server was momentarily full.
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// Client talks to one dmgm-serve daemon.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8321".
+	Base string
+	// HTTP is the underlying client; nil uses a default with no timeout
+	// (job deadlines are enforced per call through the context).
+	HTTP *http.Client
+}
+
+// New builds a client for the given base URL (a bare host:port is
+// completed to http://).
+func New(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Submit posts one job and waits for its result. A non-200 answer returns
+// an *APIError; transport failures return their underlying error.
+func (c *Client) Submit(ctx context.Context, req *service.Request) (*service.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeError(hresp)
+	}
+	var resp service.Response
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return &resp, nil
+}
+
+// SubmitRetry is Submit plus cooperative backpressure: on a retryable
+// answer (429 queue full, 503 draining) it sleeps the server's Retry-After
+// hint — or a one-second default — and tries again, up to maxRetries
+// retries or the context's deadline. It returns the attempt count alongside
+// the result, so load generators can report shed rates.
+func (c *Client) SubmitRetry(ctx context.Context, req *service.Request, maxRetries int) (resp *service.Response, attempts int, err error) {
+	for {
+		attempts++
+		resp, err = c.Submit(ctx, req)
+		apiErr, isAPI := err.(*APIError)
+		if err == nil || !isAPI || !apiErr.Retryable() || attempts > maxRetries {
+			return resp, attempts, err
+		}
+		delay := apiErr.RetryAfter
+		if delay <= 0 {
+			delay = time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return nil, attempts, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// Health polls /healthz; nil means the server is up and admitting jobs.
+func (c *Client) Health(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	hresp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return decodeError(hresp)
+	}
+	return nil
+}
+
+// WaitReady polls Health until it succeeds or the deadline passes — for
+// drivers that just started the daemon.
+func (c *Client) WaitReady(ctx context.Context, deadline time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+	for {
+		err := c.Health(ctx)
+		if err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("service at %s not ready after %v: %w", c.Base, deadline, err)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Metrics scrapes /metrics into a registry snapshot — how dmgm-load reads
+// the server-side cache hit and shed counters after a run.
+func (c *Client) Metrics(ctx context.Context) (*obs.MetricsSnapshot, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeError(hresp)
+	}
+	var s obs.MetricsSnapshot
+	if err := json.NewDecoder(hresp.Body).Decode(&s); err != nil {
+		return nil, fmt.Errorf("decoding metrics: %w", err)
+	}
+	return &s, nil
+}
+
+// decodeError turns a non-200 answer into an *APIError, tolerating
+// non-JSON bodies (proxies, http.Error plain text).
+func decodeError(resp *http.Response) error {
+	out := &APIError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			out.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error != "" {
+		out.Message = eb.Error
+	} else {
+		out.Message = strings.TrimSpace(string(body))
+	}
+	return out
+}

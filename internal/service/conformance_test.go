@@ -1,0 +1,119 @@
+package service_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/dmgm"
+	"repro/internal/coloring"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/service"
+)
+
+// TestServiceMatchesCLI is the service↔CLI conformance gate: a job submitted
+// over HTTP must produce byte-identical output to what dmgm-match/dmgm-color
+// write for the same graph and parameters. The reference below is the CLI
+// execution path verbatim — same partitioner dispatch, same dmgm entry
+// points on a fresh world, same text serializers — minus flag parsing.
+func TestServiceMatchesCLI(t *testing.T) {
+	g, err := gen.ErdosRenyi(300, 900, true, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := graph.WriteText(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	gtext := sb.String()
+
+	_, cl := startServer(t, service.Config{QueueLen: 8, Workers: 2}, true)
+
+	const ranks = 4
+	const seed = 5
+	part, err := partition.Multilevel(g, ranks, partition.MultilevelOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshWorld := func() *mpi.World {
+		w, err := mpi.NewWorld(ranks, mpi.WithDeadline(10*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+
+	t.Run("match", func(t *testing.T) {
+		for _, noBundle := range []bool{false, true} {
+			resp, err := cl.Submit(context.Background(), &service.Request{
+				Algorithm: service.AlgoMatch, Graph: gtext, Ranks: ranks, Seed: seed, NoBundle: noBundle,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := dmgm.MatchParallelOptions{}
+			if noBundle {
+				opt.BundleBytes = 17
+			}
+			res, err := dmgm.MatchParallelWorld(freshWorld(), g, part, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want strings.Builder
+			if err := matching.WriteMates(&want, res.Mates); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Result != want.String() {
+				t.Fatalf("no_bundle=%v: service result diverges from the CLI serialization", noBundle)
+			}
+			if resp.Weight != res.Weight || resp.Cardinality != res.Mates.Cardinality() {
+				t.Fatalf("no_bundle=%v: summary fields diverge: service (%g, %d) vs CLI (%g, %d)",
+					noBundle, resp.Weight, resp.Cardinality, res.Weight, res.Mates.Cardinality())
+			}
+			// Traffic counts are scheduling-dependent (a rank that receives
+			// early answers fewer requests), so only their presence is
+			// asserted — the result itself is what must agree exactly.
+			if resp.Messages == 0 || resp.Bytes == 0 {
+				t.Fatalf("no_bundle=%v: service reported no traffic (%d msgs, %d B)", noBundle, resp.Messages, resp.Bytes)
+			}
+		}
+	})
+
+	t.Run("color", func(t *testing.T) {
+		for _, distance2 := range []bool{false, true} {
+			resp, err := cl.Submit(context.Background(), &service.Request{
+				Algorithm: service.AlgoColor, Graph: gtext, Ranks: ranks, Seed: seed,
+				Superstep: 100, Distance2: distance2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := dmgm.ColorParallelOptions{SuperstepSize: 100, Seed: seed, CommMode: dmgm.CommNeighbors}
+			var res *dmgm.ColorParallelResult
+			if distance2 {
+				res, err = dmgm.ColorParallelDistance2World(freshWorld(), g, part, opt)
+			} else {
+				res, err = dmgm.ColorParallelWorld(freshWorld(), g, part, opt)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want strings.Builder
+			if err := coloring.WriteColors(&want, res.Colors); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Result != want.String() {
+				t.Fatalf("distance2=%v: service result diverges from the CLI serialization", distance2)
+			}
+			if resp.Colors != res.NumColors || resp.Rounds != res.Rounds {
+				t.Fatalf("distance2=%v: summary fields diverge: service (%d colors, %d rounds) vs CLI (%d, %d)",
+					distance2, resp.Colors, resp.Rounds, res.NumColors, res.Rounds)
+			}
+		}
+	})
+}

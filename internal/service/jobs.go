@@ -1,0 +1,212 @@
+// Package service is the serving layer of this repository: a long-running
+// job daemon that accepts matching and coloring requests over HTTP JSON and
+// executes them on a pool of reusable in-process mpi worlds.
+//
+// The paper's algorithms are cheap per run — message bundling and bounded
+// rounds keep each job to a handful of supersteps — which makes them well
+// suited to a request/response service; what dominates a one-shot CLI run
+// (process start, partitioning, World construction) is exactly what a
+// daemon amortizes. The serving layer therefore adds three reuse tiers:
+//
+//   - a World pool that recycles rank goroutine worlds across jobs
+//     (mpi.World.Reset), so per-job World setup disappears;
+//   - an LRU result cache keyed by (graph fingerprint, algorithm, params),
+//     so repeated identical requests never recompute;
+//   - a bounded admission queue with backpressure (429 + Retry-After),
+//     per-job deadlines, and graceful drain, so the daemon degrades
+//     predictably instead of collapsing under overload.
+//
+// The HTTP surface is specified in docs/PROTOCOL.md §6; architecture
+// context is DESIGN.md §9.
+package service
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Algorithm names accepted in a job request.
+const (
+	AlgoMatch = "match"
+	AlgoColor = "color"
+)
+
+// Request is one job submission, the JSON body of POST /v1/jobs.
+//
+// Exactly one of Graph (the inline text edge-list format of
+// internal/graph) and GraphPath (a daemon-local file, text or binary) must
+// be set. The remaining fields are the distributed-run parameters the
+// dmgm-match / dmgm-color CLIs expose; zero values select the same defaults
+// the CLIs use, so a service job and a CLI run with equal inputs produce
+// byte-identical results.
+type Request struct {
+	// Algorithm is "match" or "color".
+	Algorithm string `json:"algorithm"`
+	// Graph is the graph inline, in the text edge-list format.
+	Graph string `json:"graph,omitempty"`
+	// GraphPath is a daemon-local graph file path (text or .bin).
+	GraphPath string `json:"graph_path,omitempty"`
+	// Ranks is the number of ranks of the distributed run (default 4).
+	Ranks int `json:"ranks,omitempty"`
+	// Partition selects the partitioner: multilevel (default) | bfs |
+	// block | random.
+	Partition string `json:"partition,omitempty"`
+	// Seed seeds the partitioner and the coloring tie-breaks (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Superstep is the coloring superstep size s (default 1000).
+	Superstep int `json:"superstep,omitempty"`
+	// Comm selects the coloring communication variant: neighbors (default)
+	// | customized-all | broadcast.
+	Comm string `json:"comm,omitempty"`
+	// Distance2 selects the distance-2 coloring variant.
+	Distance2 bool `json:"distance2,omitempty"`
+	// NoBundle disables message bundling for matching (the ablation).
+	NoBundle bool `json:"no_bundle,omitempty"`
+	// TimeoutMillis caps this job's queue wait plus run time; 0 uses the
+	// server default. The cap is clamped to the server default.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache for this job (the result is still
+	// stored for later hits).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// normalize fills defaults and validates the request shape (everything
+// checkable without the graph). It returns a client-error message ("" = ok).
+func (r *Request) normalize(maxRanks int) string {
+	switch r.Algorithm {
+	case AlgoMatch, AlgoColor:
+	case "":
+		return "algorithm is required: match | color"
+	default:
+		return fmt.Sprintf("unknown algorithm %q: want match | color", r.Algorithm)
+	}
+	if (r.Graph == "") == (r.GraphPath == "") {
+		return "exactly one of graph (inline) and graph_path must be set"
+	}
+	if r.Ranks == 0 {
+		r.Ranks = 4
+	}
+	if r.Ranks < 1 {
+		return fmt.Sprintf("ranks must be positive, got %d", r.Ranks)
+	}
+	if maxRanks > 0 && r.Ranks > maxRanks {
+		return fmt.Sprintf("ranks %d exceeds the server bound %d", r.Ranks, maxRanks)
+	}
+	if r.Partition == "" {
+		r.Partition = "multilevel"
+	}
+	switch r.Partition {
+	case "multilevel", "bfs", "block", "random":
+	default:
+		return fmt.Sprintf("unknown partitioner %q: want multilevel | bfs | block | random", r.Partition)
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Superstep == 0 {
+		r.Superstep = 1000
+	}
+	if r.Superstep < 0 {
+		return fmt.Sprintf("superstep must be positive, got %d", r.Superstep)
+	}
+	if r.Comm == "" {
+		r.Comm = "neighbors"
+	}
+	switch r.Comm {
+	case "neighbors", "customized-all", "broadcast":
+	default:
+		return fmt.Sprintf("unknown comm mode %q: want neighbors | customized-all | broadcast", r.Comm)
+	}
+	if r.Algorithm == AlgoMatch && r.Distance2 {
+		return "distance2 applies to color jobs only"
+	}
+	if r.TimeoutMillis < 0 {
+		return fmt.Sprintf("timeout_ms must be non-negative, got %d", r.TimeoutMillis)
+	}
+	return ""
+}
+
+// cacheKey derives the result-cache key: the graph content fingerprint plus
+// every parameter that can change the result. Timeout and cache directives
+// are deliberately excluded — they affect scheduling, never the answer.
+func (r *Request) cacheKey(fingerprint string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|p%d|%s|s%d", fingerprint, r.Algorithm, r.Ranks, r.Partition, r.Seed)
+	if r.Algorithm == AlgoColor {
+		fmt.Fprintf(&b, "|ss%d|%s|d2=%v", r.Superstep, r.Comm, r.Distance2)
+	} else {
+		fmt.Fprintf(&b, "|nb=%v", r.NoBundle)
+	}
+	return b.String()
+}
+
+// timeout resolves the per-job deadline against the server default: jobs may
+// shorten it, never extend it.
+func (r *Request) timeout(def time.Duration) time.Duration {
+	if r.TimeoutMillis <= 0 {
+		return def
+	}
+	d := time.Duration(r.TimeoutMillis) * time.Millisecond
+	if d > def {
+		return def
+	}
+	return d
+}
+
+// buildPartition runs the requested partitioner — the same dispatch the CLIs
+// use, so service and CLI runs agree bit-for-bit.
+func (r *Request) buildPartition(g *graph.Graph) (*partition.Partition, error) {
+	switch r.Partition {
+	case "multilevel":
+		return partition.Multilevel(g, r.Ranks, partition.MultilevelOptions{Seed: r.Seed})
+	case "bfs":
+		return partition.BFS(g, r.Ranks, r.Seed)
+	case "block":
+		return partition.Block1D(g, r.Ranks)
+	case "random":
+		return partition.Random(g, r.Ranks, r.Seed)
+	default:
+		return nil, fmt.Errorf("unknown partitioner %q", r.Partition)
+	}
+}
+
+// Response is the job result, the JSON body of a 200 answer. Result carries
+// the text serialization of the matching or coloring — byte-identical to
+// what the dmgm-match / dmgm-color CLIs write with -o, which the conformance
+// suite asserts.
+type Response struct {
+	JobID       string `json:"job_id"`
+	Cached      bool   `json:"cached"`
+	Algorithm   string `json:"algorithm"`
+	Ranks       int    `json:"ranks"`
+	Fingerprint string `json:"graph_fingerprint"`
+
+	// Matching results.
+	Weight      float64 `json:"weight,omitempty"`
+	Cardinality int     `json:"cardinality,omitempty"`
+
+	// Coloring results.
+	Colors    int   `json:"colors,omitempty"`
+	Rounds    int   `json:"rounds,omitempty"`
+	Conflicts int64 `json:"conflicts,omitempty"`
+
+	// Traffic totals of the run that produced the result. A cached answer
+	// reports the producing run's traffic: the counts are a property of
+	// (graph, partition, algorithm), not of the serving path.
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+
+	// Result is the text serialization of the matching/coloring.
+	Result string `json:"result"`
+	// ElapsedSeconds is the execution time of the producing run.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// errorBody is the JSON shape of every non-200 answer.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,544 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/dmgm"
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// Config sizes one Server. The zero value is usable: every field has a
+// production-sane default.
+type Config struct {
+	// QueueLen bounds the admission queue; a submission arriving with the
+	// queue full is shed with 429 + Retry-After (default 32).
+	QueueLen int
+	// Workers is the number of jobs executed concurrently (default 2).
+	// Each worker drives one mpi world of Request.Ranks goroutine ranks, so
+	// the process runs up to Workers×Ranks rank goroutines at peak.
+	Workers int
+	// DefaultTimeout caps a job's queue wait plus run time; requests may
+	// shorten it per job, never extend it (default 2 minutes).
+	DefaultTimeout time.Duration
+	// WorldDeadline is the watchdog on pooled worlds — the backstop against
+	// a wedged algorithm outliving every job deadline (default 10 minutes).
+	WorldDeadline time.Duration
+	// CacheEntries bounds the LRU result cache (default 128; negative
+	// disables caching).
+	CacheEntries int
+	// MaxRanks bounds Request.Ranks (default 64).
+	MaxRanks int
+	// MaxBodyBytes bounds a request body, inline graph included
+	// (default 256 MiB).
+	MaxBodyBytes int64
+	// AllowGraphPaths permits graph_path requests, which read daemon-local
+	// files. Leave false for anything but a trusted-caller deployment.
+	AllowGraphPaths bool
+	// Observer collects service metrics and per-job spans; nil runs with
+	// metrics disabled (every instrument is a nil no-op).
+	Observer *obs.Observer
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueLen == 0 {
+		c.QueueLen = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.WorldDeadline <= 0 {
+		c.WorldDeadline = 10 * time.Minute
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxRanks == 0 {
+		c.MaxRanks = 64
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+}
+
+// job is one admitted submission moving through the queue.
+type job struct {
+	id   string
+	req  *Request
+	g    *graph.Graph
+	fp   string
+	key  string
+	ctx  context.Context
+	done chan struct{} // closed exactly once, after resp/status are set
+
+	resp   *Response
+	status int
+	errMsg string
+}
+
+// finish publishes the job's outcome and releases its waiter.
+func (j *job) finish(status int, resp *Response, errMsg string) {
+	j.status = status
+	j.resp = resp
+	j.errMsg = errMsg
+	close(j.done)
+}
+
+// Server is the dmgm job service: a bounded admission queue in front of a
+// fixed worker pool, a World pool underneath, and an LRU result cache in
+// front of everything. Create with NewServer, expose Handler over HTTP,
+// call Start, and Drain+Stop on the way out.
+type Server struct {
+	cfg   Config
+	obsr  *obs.Observer
+	pool  *worldPool
+	cache *resultCache
+
+	queue    chan *job
+	quit     chan struct{}
+	stopOnce sync.Once
+	draining atomic.Bool
+	admitMu  sync.Mutex     // orders admissions against the drain flag flip
+	workers  sync.WaitGroup // worker goroutines
+	pending  sync.WaitGroup // admitted, unfinished jobs
+
+	nextID atomic.Int64
+
+	// spanMu serializes per-job span recording: the driver tracer is a
+	// single-goroutine structure and the workers are not.
+	spanMu sync.Mutex
+
+	// Instruments (nil-safe no-ops without an observer).
+	submitted   *obs.Counter
+	completed   *obs.Counter
+	failed      *obs.Counter
+	rejected    *obs.Counter
+	drainRejs   *obs.Counter
+	timeouts    *obs.Counter
+	hits        *obs.Counter
+	misses      *obs.Counter
+	evictions   *obs.Counter
+	queueDepth  *obs.Gauge
+	inflight    *obs.Gauge
+	cacheGauge  *obs.Gauge
+	idleWorlds  *obs.Gauge
+	drainGauge  *obs.Gauge
+	latencyHist *obs.Histogram
+}
+
+// NewServer builds a server from cfg. Call Start before serving traffic.
+func NewServer(cfg Config) *Server {
+	cfg.fillDefaults()
+	reg := cfg.Observer.Registry()
+	s := &Server{
+		cfg:   cfg,
+		obsr:  cfg.Observer,
+		pool:  newWorldPool(cfg.WorldDeadline, cfg.Workers*2, reg),
+		cache: newResultCache(cfg.CacheEntries),
+		queue: make(chan *job, cfg.QueueLen),
+		quit:  make(chan struct{}),
+
+		submitted:   reg.Counter("service.jobs_submitted"),
+		completed:   reg.Counter("service.jobs_completed"),
+		failed:      reg.Counter("service.jobs_failed"),
+		rejected:    reg.Counter("service.jobs_rejected"),
+		drainRejs:   reg.Counter("service.jobs_rejected_draining"),
+		timeouts:    reg.Counter("service.jobs_timeout"),
+		hits:        reg.Counter("service.cache_hits"),
+		misses:      reg.Counter("service.cache_misses"),
+		evictions:   reg.Counter("service.cache_evictions"),
+		queueDepth:  reg.Gauge("service.queue_depth"),
+		inflight:    reg.Gauge("service.inflight"),
+		cacheGauge:  reg.Gauge("service.cache_entries"),
+		idleWorlds:  reg.Gauge("service.pool_idle"),
+		drainGauge:  reg.Gauge("service.draining"),
+		latencyHist: reg.Histogram("service.job_latency_ms", obs.ExpBounds(1, 1<<22)),
+	}
+	reg.Gauge("service.queue_cap").Set(int64(cfg.QueueLen))
+	reg.Gauge("service.workers").Set(int64(cfg.Workers))
+	return s
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.workerLoop()
+	}
+}
+
+// Drain stops admitting new jobs (submissions answer 503, health answers
+// draining) and waits for every admitted job — queued or running — to
+// finish, or for ctx to expire. It does not stop the workers; call Stop
+// afterwards.
+func (s *Server) Drain(ctx context.Context) error {
+	// The admission lock orders the flag flip after every in-flight
+	// admission's pending.Add — Wait never races a late Add.
+	s.admitMu.Lock()
+	s.draining.Store(true)
+	s.admitMu.Unlock()
+	s.drainGauge.Set(1)
+	done := make(chan struct{})
+	go func() { s.pending.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Stop terminates the worker pool. Safe to call more than once; jobs still
+// queued are abandoned (their waiters time out via job deadlines), so
+// Drain first for a graceful exit.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.quit) })
+	s.workers.Wait()
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the HTTP surface:
+//
+//	POST /v1/jobs   submit a job, wait for its result
+//	GET  /healthz   liveness ("ok", or 503 "draining")
+//	GET  /metrics   the metrics registry, canonical JSON
+//	GET  /snapshot  obs.LiveSnapshot (metrics only; no ranks outside a job)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	return mux
+}
+
+// LiveSnapshot adapts the service registry to the obs live-polling shape,
+// so `dmgm-trace -watch` and the -http pipeline work against a daemon too.
+func (s *Server) LiveSnapshot() *obs.LiveSnapshot {
+	s.refreshGauges()
+	return &obs.LiveSnapshot{
+		CapturedUnixNanos: time.Now().UnixNano(),
+		Metrics:           s.obsr.Registry().Snapshot(),
+	}
+}
+
+// refreshGauges recomputes the sampled gauges a scrape observes.
+func (s *Server) refreshGauges() {
+	s.queueDepth.Set(int64(len(s.queue)))
+	s.cacheGauge.Set(int64(s.cache.len()))
+	s.idleWorlds.Set(int64(s.pool.idle()))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshGauges()
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.obsr.Registry().Snapshot().CanonicalJSONIndent()) //nolint:errcheck // best-effort scrape
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.LiveSnapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// writeError answers with the JSON error shape of docs/PROTOCOL.md §6.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)}) //nolint:errcheck // response already committed
+}
+
+// retryAfterSeconds is the backpressure hint on 429/503 answers: the queue
+// turns over in job-latency units, so a short fixed hint keeps rejected
+// clients closely packed behind the current burst without thundering back.
+const retryAfterSeconds = 1
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		s.drainRejs.Inc()
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
+		return
+	}
+	s.submitted.Inc()
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if msg := req.normalize(s.cfg.MaxRanks); msg != "" {
+		writeError(w, http.StatusBadRequest, "%s", msg)
+		return
+	}
+	g, err := s.loadGraph(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "loading graph: %v", err)
+		return
+	}
+	fp := graph.Fingerprint(g)
+	key := req.cacheKey(fp)
+	id := fmt.Sprintf("job-%d", s.nextID.Add(1))
+	if !req.NoCache {
+		if resp, ok := s.cache.get(key); ok {
+			s.hits.Inc()
+			resp.JobID = id
+			resp.Cached = true
+			s.respond(w, &resp)
+			return
+		}
+	}
+	s.misses.Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.cfg.DefaultTimeout))
+	defer cancel()
+	j := &job{id: id, req: &req, g: g, fp: fp, key: key, ctx: ctx, done: make(chan struct{})}
+	// Authoritative drain check: the early one above is a fast path, but a
+	// drain beginning mid-request must still see either this job in pending
+	// or this request rejected — never neither.
+	s.admitMu.Lock()
+	if s.draining.Load() {
+		s.admitMu.Unlock()
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		s.drainRejs.Inc()
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
+		return
+	}
+	s.pending.Add(1)
+	s.admitMu.Unlock()
+	select {
+	case s.queue <- j:
+		s.queueDepth.Set(int64(len(s.queue)))
+	default:
+		s.pending.Done()
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs pending): retry later", s.cfg.QueueLen)
+		return
+	}
+	<-j.done
+	if j.status != http.StatusOK {
+		writeError(w, j.status, "%s", j.errMsg)
+		return
+	}
+	s.respond(w, j.resp)
+}
+
+func (s *Server) respond(w http.ResponseWriter, resp *Response) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// The header is already out; nothing to repair mid-stream.
+		return
+	}
+}
+
+// loadGraph resolves the request's graph, inline or daemon-local.
+func (s *Server) loadGraph(req *Request) (*graph.Graph, error) {
+	if req.Graph != "" {
+		return graph.ReadText(strings.NewReader(req.Graph))
+	}
+	if !s.cfg.AllowGraphPaths {
+		return nil, fmt.Errorf("graph_path is disabled on this server; send the graph inline")
+	}
+	return graph.ReadFile(req.GraphPath)
+}
+
+// workerLoop pulls admitted jobs until Stop.
+func (s *Server) workerLoop() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.queueDepth.Set(int64(len(s.queue)))
+			if err := j.ctx.Err(); err != nil {
+				// Expired while queued: never ran, shed cheaply.
+				s.finishTimeout(j)
+				continue
+			}
+			s.execute(j)
+		}
+	}
+}
+
+// finishTimeout resolves a job whose deadline fired.
+func (s *Server) finishTimeout(j *job) {
+	s.timeouts.Inc()
+	j.finish(http.StatusGatewayTimeout, nil, "job deadline exceeded")
+	s.pending.Done()
+}
+
+// execResult carries a finished run out of its goroutine.
+type execResult struct {
+	resp *Response
+	err  error
+}
+
+// execute runs one job on a pooled world, enforcing the job deadline. On
+// timeout the job resolves immediately; the abandoned run keeps the world
+// until it finishes (the algorithms terminate in bounded rounds, and the
+// pool's watchdog deadline is the backstop), after which the world is reset
+// and recycled — or discarded if its ranks are genuinely wedged.
+func (s *Server) execute(j *job) {
+	start := time.Now()
+	w, err := s.pool.get(j.req.Ranks)
+	if err != nil {
+		s.failed.Inc()
+		j.finish(http.StatusInternalServerError, nil, fmt.Sprintf("world: %v", err))
+		s.pending.Done()
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	resCh := make(chan execResult, 1)
+	go func() {
+		resp, err := runJob(w, j)
+		resCh <- execResult{resp, err}
+	}()
+	select {
+	case r := <-resCh:
+		s.pool.put(w)
+		elapsed := time.Since(start)
+		s.observeJob(j, start, elapsed)
+		if r.err != nil {
+			s.failed.Inc()
+			j.finish(http.StatusInternalServerError, nil, fmt.Sprintf("executing %s: %v", j.req.Algorithm, r.err))
+			s.pending.Done()
+			return
+		}
+		r.resp.JobID = j.id
+		r.resp.ElapsedSeconds = elapsed.Seconds()
+		s.evictions.Add(int64(s.cache.put(j.key, *r.resp)))
+		s.completed.Inc()
+		s.latencyHist.Observe(elapsed.Milliseconds())
+		j.finish(http.StatusOK, r.resp, "")
+		s.pending.Done()
+	case <-j.ctx.Done():
+		s.finishTimeout(j)
+		// Recycle (or discard) the world once the abandoned run returns.
+		go func() {
+			<-resCh
+			s.pool.put(w)
+		}()
+	}
+}
+
+// observeJob records the per-job span on the driver tracer (serialized: the
+// tracer is a single-goroutine structure).
+func (s *Server) observeJob(j *job, start time.Time, elapsed time.Duration) {
+	if s.obsr == nil {
+		return
+	}
+	s.spanMu.Lock()
+	s.obsr.Driver().Observe("job."+j.req.Algorithm, start, int64(j.g.NumVertices()))
+	s.spanMu.Unlock()
+}
+
+// runJob executes the algorithm on the given world — the same dmgm entry
+// points the CLIs call, so a service job and a CLI run with equal inputs
+// produce byte-identical results (asserted by the conformance tests).
+func runJob(w *mpi.World, j *job) (*Response, error) {
+	part, err := j.req.buildPartition(j.g)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		Algorithm:   j.req.Algorithm,
+		Ranks:       j.req.Ranks,
+		Fingerprint: j.fp,
+	}
+	switch j.req.Algorithm {
+	case AlgoMatch:
+		opt := dmgm.MatchParallelOptions{}
+		if j.req.NoBundle {
+			opt.BundleBytes = 17 // one protocol record per message
+		}
+		res, err := dmgm.MatchParallelWorld(w, j.g, part, opt)
+		if err != nil {
+			return nil, err
+		}
+		if err := res.Mates.VerifyMaximal(j.g); err != nil {
+			return nil, fmt.Errorf("result verification: %w", err)
+		}
+		var sb strings.Builder
+		if err := matching.WriteMates(&sb, res.Mates); err != nil {
+			return nil, err
+		}
+		resp.Weight = res.Weight
+		resp.Cardinality = res.Mates.Cardinality()
+		resp.Messages = res.Messages
+		resp.Bytes = res.Bytes
+		resp.Result = sb.String()
+	case AlgoColor:
+		opt := dmgm.ColorParallelOptions{
+			SuperstepSize: j.req.Superstep,
+			Seed:          j.req.Seed,
+		}
+		switch j.req.Comm {
+		case "neighbors":
+			opt.CommMode = dmgm.CommNeighbors
+		case "customized-all":
+			opt.CommMode = dmgm.CommCustomizedAll
+		case "broadcast":
+			opt.CommMode = dmgm.CommBroadcast
+		}
+		var res *dmgm.ColorParallelResult
+		var err error
+		if j.req.Distance2 {
+			res, err = dmgm.ColorParallelDistance2World(w, j.g, part, opt)
+		} else {
+			res, err = dmgm.ColorParallelWorld(w, j.g, part, opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if j.req.Distance2 {
+			err = coloring.VerifyDistance2(j.g, res.Colors)
+		} else {
+			err = res.Colors.Verify(j.g)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("result verification: %w", err)
+		}
+		var sb strings.Builder
+		if err := coloring.WriteColors(&sb, res.Colors); err != nil {
+			return nil, err
+		}
+		resp.Colors = res.NumColors
+		resp.Rounds = res.Rounds
+		resp.Conflicts = res.Conflicts
+		resp.Messages = res.Messages
+		resp.Bytes = res.Bytes
+		resp.Result = sb.String()
+	}
+	return resp, nil
+}

@@ -1,0 +1,333 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// testGraph is a small deterministic graph shipped inline with test jobs.
+func testGraph(t *testing.T) (*graph.Graph, string) {
+	t.Helper()
+	g, err := gen.ErdosRenyi(200, 600, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := graph.WriteText(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	return g, sb.String()
+}
+
+// startServer wires a server into an httptest listener. start=false leaves
+// the worker pool idle, so admitted jobs sit in the queue — how the tests
+// hold the queue full deterministically.
+func startServer(t *testing.T, cfg service.Config, start bool) (*service.Server, *client.Client) {
+	t.Helper()
+	if cfg.Observer == nil {
+		cfg.Observer = obs.NewObserver(0, 0)
+	}
+	srv := service.NewServer(cfg)
+	if start {
+		srv.Start()
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Stop()
+	})
+	return srv, client.New(ts.URL)
+}
+
+// waitMetric polls /metrics until the counter or gauge reaches want.
+func waitMetric(t *testing.T, cl *client.Client, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m, err := cl.Metrics(context.Background())
+		if err == nil {
+			if v, ok := m.Gauges[name]; ok && v >= want {
+				return
+			}
+			if v, ok := m.Counters[name]; ok && v >= want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metric %s never reached %d", name, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestQueueFullSheds429(t *testing.T) {
+	_, gtext := testGraph(t)
+	srv, cl := startServer(t, service.Config{QueueLen: 1, Workers: 1}, false)
+
+	// With no workers running, the first job parks in the queue and its
+	// submitter blocks; the queue (capacity 1) is now full.
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Submit(context.Background(), &service.Request{Algorithm: service.AlgoMatch, Graph: gtext})
+		firstDone <- err
+	}()
+	waitMetric(t, cl, "service.queue_depth", 1)
+
+	_, err := cl.Submit(context.Background(), &service.Request{Algorithm: service.AlgoMatch, Graph: gtext, Seed: 2})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("overflow submit: %v, want *client.APIError", err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", apiErr.Status)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Fatal("429 carried no Retry-After hint")
+	}
+	if !apiErr.Retryable() {
+		t.Fatal("429 not classified retryable")
+	}
+
+	// Start the workers: the parked job must complete normally.
+	srv.Start()
+	if err := <-firstDone; err != nil {
+		t.Fatalf("queued job failed after workers started: %v", err)
+	}
+}
+
+func TestJobDeadlineExpiresQueued(t *testing.T) {
+	_, gtext := testGraph(t)
+	srv, cl := startServer(t, service.Config{QueueLen: 4, Workers: 1}, false)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Submit(context.Background(), &service.Request{
+			Algorithm: service.AlgoMatch, Graph: gtext, TimeoutMillis: 30,
+		})
+		done <- err
+	}()
+	waitMetric(t, cl, "service.queue_depth", 1)
+	time.Sleep(60 * time.Millisecond) // let the job deadline fire while queued
+	srv.Start()
+
+	err := <-done
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("expired job: %v, want *client.APIError", err)
+	}
+	if apiErr.Status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", apiErr.Status)
+	}
+	if !strings.Contains(apiErr.Message, "deadline") {
+		t.Fatalf("message %q does not mention the deadline", apiErr.Message)
+	}
+	waitMetric(t, cl, "service.jobs_timeout", 1)
+}
+
+func TestConcurrentJobsAllSucceed(t *testing.T) {
+	_, gtext := testGraph(t)
+	_, cl := startServer(t, service.Config{QueueLen: 64, Workers: 4}, true)
+
+	const jobs = 16
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			algo := service.AlgoMatch
+			if i%2 == 1 {
+				algo = service.AlgoColor
+			}
+			_, _, err := cl.SubmitRetry(context.Background(), &service.Request{
+				Algorithm: algo, Graph: gtext, Ranks: 4, Seed: uint64(1 + i%4),
+			}, 10)
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	_, gtext := testGraph(t)
+	srv, cl := startServer(t, service.Config{QueueLen: 16, Workers: 2}, true)
+
+	// A few jobs in flight while the drain begins.
+	const jobs = 4
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cl.Submit(context.Background(), &service.Request{
+				Algorithm: service.AlgoColor, Graph: gtext, Seed: uint64(i + 1),
+			})
+		}(i)
+	}
+	waitMetric(t, cl, "service.jobs_submitted", 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	// Every admitted job finished; drain never abandons accepted work. Jobs
+	// that arrived after the drain flag flipped see a retryable 503 instead.
+	var apiErr *client.APIError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+			t.Errorf("in-flight job %d: %v", i, err)
+		}
+	}
+
+	if err := cl.Health(context.Background()); err == nil {
+		t.Fatal("healthz still ok while draining")
+	} else if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %v", err)
+	}
+	_, err := cl.Submit(context.Background(), &service.Request{Algorithm: service.AlgoMatch, Graph: gtext})
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("submit while draining: %v", err)
+	}
+	if apiErr.Status != http.StatusServiceUnavailable || !apiErr.Retryable() || apiErr.RetryAfter <= 0 {
+		t.Fatalf("drain rejection = %+v, want retryable 503 with Retry-After", apiErr)
+	}
+}
+
+func TestCacheHitOnRepeat(t *testing.T) {
+	_, gtext := testGraph(t)
+	_, cl := startServer(t, service.Config{QueueLen: 8, Workers: 1}, true)
+	req := &service.Request{Algorithm: service.AlgoMatch, Graph: gtext, Ranks: 4, Seed: 3}
+
+	first, err := cl.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first submission reported cached")
+	}
+	second, err := cl.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeat submission missed the cache")
+	}
+	if second.JobID == first.JobID {
+		t.Fatal("cached answer reused the producing job's id")
+	}
+	if second.Result != first.Result || second.Weight != first.Weight || second.Cardinality != first.Cardinality {
+		t.Fatal("cached answer differs from the producing run")
+	}
+	m, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["service.cache_hits"] != 1 {
+		t.Fatalf("cache_hits = %d, want 1", m.Counters["service.cache_hits"])
+	}
+
+	// no_cache bypasses the lookup but the params still identify the job.
+	fresh := *req
+	fresh.NoCache = true
+	third, err := cl.Submit(context.Background(), &fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Fatal("no_cache submission served from cache")
+	}
+	if third.Result != first.Result {
+		t.Fatal("recomputed result differs — determinism broken")
+	}
+
+	// A different seed is a different job: miss.
+	other := *req
+	other.Seed = 4
+	fourth, err := cl.Submit(context.Background(), &other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fourth.Cached {
+		t.Fatal("different params served from cache")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, gtext := testGraph(t)
+	_, cl := startServer(t, service.Config{QueueLen: 4, Workers: 1}, true)
+	cases := []struct {
+		name string
+		req  service.Request
+		want int
+	}{
+		{"unknown algorithm", service.Request{Algorithm: "sort", Graph: gtext}, http.StatusBadRequest},
+		{"missing graph", service.Request{Algorithm: service.AlgoMatch}, http.StatusBadRequest},
+		{"graph_path disabled", service.Request{Algorithm: service.AlgoMatch, GraphPath: "/etc/hosts"}, http.StatusBadRequest},
+		{"ranks over bound", service.Request{Algorithm: service.AlgoMatch, Graph: gtext, Ranks: 1 << 20}, http.StatusBadRequest},
+		{"malformed graph", service.Request{Algorithm: service.AlgoMatch, Graph: "not a graph\n"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		_, err := cl.Submit(context.Background(), &tc.req)
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != tc.want {
+			t.Errorf("%s: %v, want status %d", tc.name, err, tc.want)
+		}
+	}
+
+	// Wrong method.
+	resp, err := http.Get(cl.Base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/jobs = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpointStable(t *testing.T) {
+	_, cl := startServer(t, service.Config{}, true)
+	read := func() string {
+		resp, err := http.Get(cl.Base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return sb.String()
+	}
+	if a, b := read(), read(); a != b {
+		t.Fatal("idle /metrics scrapes not byte-stable")
+	}
+}
