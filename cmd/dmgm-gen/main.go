@@ -1,6 +1,6 @@
-// Command dmgm-gen generates synthetic graphs in this repository's text or
-// binary formats: the paper's five-point grids, circuit-simulation stand-ins,
-// and the irregular families used by the quality studies.
+// Command dmgm-gen generates synthetic graphs in this repository's formats:
+// the paper's five-point grids, circuit-simulation stand-ins, and the
+// irregular families used by the quality studies.
 //
 // Usage:
 //
@@ -8,12 +8,19 @@
 //	dmgm-gen -kind circuit -k1 200 -k2 200 -taps 0.45 -o circuit.g
 //	dmgm-gen -kind rmat -scale 16 -edgefactor 8 -o rmat.bin
 //	dmgm-gen -kind er -n 100000 -m 400000 -o er.g
+//	dmgm-gen -kind er -n 100000 -m 400000 -format dmgb -o er.g
 //	dmgm-gen -kind geometric -n 50000 -radius 0.01 -o geo.g
+//
+// The output format follows the extension (.dmgb streaming binary, .bin
+// legacy binary, text otherwise); -format overrides it. DMGB is the format
+// the chunked upload path of dmgm-serve is built around — its header
+// carries the graph fingerprint, so repeat uploads short-circuit.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/gen"
@@ -34,7 +41,8 @@ func main() {
 		taps       = flag.Float64("taps", 0.45, "circuit taps per node")
 		weighted   = flag.Bool("weighted", true, "assign random edge weights")
 		seed       = flag.Uint64("seed", 1, "generator seed")
-		out        = flag.String("o", "", "output path (.bin = binary); required")
+		out        = flag.String("o", "", "output path (.dmgb = streaming binary, .bin = legacy binary); required")
+		format     = flag.String("format", "", "output format: text | bin | dmgb (default: by extension)")
 		stats      = flag.Bool("stats", true, "print summary statistics")
 	)
 	flag.Parse()
@@ -69,11 +77,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmgm-gen: %v\n", err)
 		os.Exit(1)
 	}
-	if err := graph.WriteFile(*out, g); err != nil {
+	if err := writeOut(*out, *format, g); err != nil {
 		fmt.Fprintf(os.Stderr, "dmgm-gen: %v\n", err)
 		os.Exit(1)
 	}
 	if *stats {
 		fmt.Printf("%s: %s\n", *out, graph.Summarize(g))
 	}
+}
+
+// writeOut writes g to path in the selected format; an empty format defers
+// to the extension routing of graph.WriteFile.
+func writeOut(path, format string, g *graph.Graph) error {
+	var write func(io.Writer, *graph.Graph) error
+	switch format {
+	case "":
+		return graph.WriteFile(path, g)
+	case "text":
+		write = graph.WriteText
+	case "bin":
+		write = graph.WriteBinary
+	case "dmgb":
+		write = graph.WriteDMGB
+	default:
+		return fmt.Errorf("unknown format %q: want text | bin | dmgb", format)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -9,6 +9,14 @@
 //	dmgm-load -addr 127.0.0.1:8321 -in graph.txt -algo both -n 32 -c 8
 //	dmgm-load -addr 127.0.0.1:8321 -in graph.bin -algo match -require-cached
 //	dmgm-load -addr 127.0.0.1:8321 -in graph.txt -json > load.json
+//	dmgm-load -addr 127.0.0.1:8321 -in big.dmgb -upload -upload-chunk 262144
+//
+// With -upload the graph ships once through the resumable chunked upload
+// API (DMGB encoding, docs/PROTOCOL.md §7) and every job references it by
+// graph_ref — the streaming-ingest path. -upload-fault n injects a
+// simulated transport fault every n-th chunk to exercise per-chunk retry;
+// upload throughput and retry counts are reported alongside job latency.
+// Without -upload the graph is sent inline as text with every request.
 //
 // Jobs cycle through -distinct seeds, so any run with -n greater than
 // -distinct resubmits identical requests and exercises the result cache.
@@ -51,6 +59,10 @@ func main() {
 		wait     = flag.Duration("wait", 10*time.Second, "how long to wait for the server to come up")
 		requireC = flag.Bool("require-cached", false, "fail unless the server reports cache hits > 0 after the run")
 		jsonOut  = flag.Bool("json", false, "print the summary as JSON")
+		upload   = flag.Bool("upload", false, "upload the graph once (chunked DMGB) and submit jobs by graph_ref")
+		upChunk  = flag.Int64("upload-chunk", 0, "upload chunk size in bytes (0: server default)")
+		upFault  = flag.Int("upload-fault", 0, "inject a simulated fault every n-th chunk (0 disables)")
+		compare  = flag.Bool("compare-inline", false, "with -upload: fail unless a by-ref job answers byte-identically to the same job sent inline")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -93,6 +105,55 @@ func main() {
 		os.Exit(1)
 	}
 
+	// With -upload, ship the graph once through the chunked upload API and
+	// reference it by fingerprint from every job.
+	var graphRef string
+	var upStats *client.UploadStats
+	if *upload {
+		uctx, cancel := context.WithTimeout(ctx, *timeout)
+		ref, st, err := cl.UploadGraph(uctx, g, client.UploadOptions{
+			ChunkBytes: *upChunk,
+			FaultEvery: *upFault,
+		})
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmgm-load: upload: %v\n", err)
+			os.Exit(1)
+		}
+		graphRef, upStats = ref, st
+		mbps := float64(st.BytesSent) / (1 << 20) / st.Elapsed.Seconds()
+		fmt.Fprintf(os.Stderr, "dmgm-load: uploaded %s: %d chunks (%d retried), %.1f MiB in %.2fs (%.1f MiB/s)%s\n",
+			ref[:12], st.ChunksSent, st.ChunksRetried, float64(st.BytesSent)/(1<<20),
+			st.Elapsed.Seconds(), mbps, map[bool]string{true: " [short-circuit]", false: ""}[st.ShortCircuit])
+		if *compare {
+			// One job each way, identical parameters, cache bypassed: the
+			// result text must be byte-identical across the two graph paths.
+			// Superstep >= n so every coloring round is a single superstep:
+			// with smaller supersteps the speculative colors depend on message
+			// arrival timing and two identical jobs can legitimately disagree.
+			for _, a := range algos {
+				base := service.Request{Algorithm: a, Ranks: *ranks, Partition: *part, Seed: *seed,
+					Superstep: g.NumVertices(), NoCache: true}
+				byRef, inline := base, base
+				byRef.GraphRef = ref
+				inline.Graph = gtext.String()
+				cctx, cancel := context.WithTimeout(ctx, *timeout)
+				r1, err1 := cl.Submit(cctx, &byRef)
+				r2, err2 := cl.Submit(cctx, &inline)
+				cancel()
+				if err1 != nil || err2 != nil {
+					fmt.Fprintf(os.Stderr, "dmgm-load: -compare-inline %s: by-ref %v, inline %v\n", a, err1, err2)
+					os.Exit(1)
+				}
+				if r1.Result != r2.Result || r1.Fingerprint != r2.Fingerprint {
+					fmt.Fprintf(os.Stderr, "dmgm-load: -compare-inline %s: uploaded-graph result differs from inline\n", a)
+					os.Exit(1)
+				}
+			}
+			fmt.Fprintln(os.Stderr, "dmgm-load: -compare-inline: by-ref results byte-identical to inline")
+		}
+	}
+
 	// Build the full job list up front, then let -c submitters drain it.
 	type jobSpec struct {
 		algo string
@@ -127,10 +188,14 @@ func main() {
 				spec := specs[i]
 				req := &service.Request{
 					Algorithm: spec.algo,
-					Graph:     gtext.String(),
 					Ranks:     *ranks,
 					Partition: *part,
 					Seed:      spec.seed,
+				}
+				if graphRef != "" {
+					req.GraphRef = graphRef
+				} else {
+					req.Graph = gtext.String()
 				}
 				jctx, cancel := context.WithTimeout(ctx, *timeout)
 				t0 := time.Now()
@@ -156,10 +221,12 @@ func main() {
 
 	// Server-side counters close the loop: client-observed "cached" answers
 	// and the daemon's own hit counter should both be non-zero on repeats.
-	var serverHits, serverRejects int64
+	var serverHits, serverRejects, partHits, storeHits int64
 	if m, err := cl.Metrics(ctx); err == nil {
 		serverHits = m.Counters["service.cache_hits"]
 		serverRejects = m.Counters["service.jobs_rejected"]
+		partHits = m.Counters["service.partition_cache_hits"]
+		storeHits = m.Counters["ingest.store_hits"]
 	} else {
 		fmt.Fprintf(os.Stderr, "dmgm-load: metrics scrape: %v\n", err)
 	}
@@ -179,7 +246,14 @@ func main() {
 		Cached        int     `json:"cached"`
 		ServerHits    int64   `json:"server_cache_hits"`
 		ServerRejects int64   `json:"server_rejects"`
+		PartHits      int64   `json:"server_partition_cache_hits"`
+		StoreHits     int64   `json:"server_store_hits"`
 		Attempts      int64   `json:"attempts"`
+		UploadChunks  int     `json:"upload_chunks,omitempty"`
+		UploadRetried int     `json:"upload_chunks_retried,omitempty"`
+		UploadBytes   int64   `json:"upload_bytes,omitempty"`
+		UploadSeconds float64 `json:"upload_seconds,omitempty"`
+		ShortCircuit  bool    `json:"upload_short_circuit,omitempty"`
 		Seconds       float64 `json:"seconds"`
 		JobsPerSec    float64 `json:"jobs_per_sec"`
 		P50Millis     float64 `json:"p50_ms"`
@@ -193,6 +267,8 @@ func main() {
 		Cached:        cached,
 		ServerHits:    serverHits,
 		ServerRejects: serverRejects,
+		PartHits:      partHits,
+		StoreHits:     storeHits,
 		Attempts:      attempts.Load(),
 		Seconds:       elapsed.Seconds(),
 		P50Millis:     float64(pct(0.50)) / float64(time.Millisecond),
@@ -203,13 +279,20 @@ func main() {
 	if elapsed > 0 {
 		summary.JobsPerSec = float64(len(latencies)) / elapsed.Seconds()
 	}
+	if upStats != nil {
+		summary.UploadChunks = upStats.ChunksSent
+		summary.UploadRetried = upStats.ChunksRetried
+		summary.UploadBytes = upStats.BytesSent
+		summary.UploadSeconds = upStats.Elapsed.Seconds()
+		summary.ShortCircuit = upStats.ShortCircuit
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		enc.Encode(summary) //nolint:errcheck // stdout
 	} else {
-		fmt.Printf("jobs %d  ok %d  failed %d  cached %d (server hits %d, rejects %d)  attempts %d\n",
-			summary.Jobs, summary.OK, summary.Failed, summary.Cached, serverHits, serverRejects, summary.Attempts)
+		fmt.Printf("jobs %d  ok %d  failed %d  cached %d (server hits %d, rejects %d, partition hits %d, store hits %d)  attempts %d\n",
+			summary.Jobs, summary.OK, summary.Failed, summary.Cached, serverHits, serverRejects, partHits, storeHits, summary.Attempts)
 		fmt.Printf("elapsed %.2fs  throughput %.1f jobs/s\n", summary.Seconds, summary.JobsPerSec)
 		fmt.Printf("latency p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",
 			summary.P50Millis, summary.P90Millis, summary.P99Millis, summary.MaxMillis)

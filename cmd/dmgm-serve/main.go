@@ -5,10 +5,17 @@
 // overload), per-job deadlines, an LRU result cache keyed by graph
 // fingerprint, and graceful drain on SIGTERM.
 //
+// Large graphs ship once through the resumable chunked upload API
+// (/v1/uploads, docs/PROTOCOL.md §7) into a bounded content-addressed
+// graph store; jobs then reference them by fingerprint (graph_ref), and a
+// warm partition cache skips re-partitioning across jobs over the same
+// stored graph.
+//
 // Usage:
 //
 //	dmgm-serve -addr :8321
 //	dmgm-serve -addr :8321 -workers 4 -queue 64 -cache 256
+//	dmgm-serve -addr :8321 -store-mb 1024 -upload-ttl 5m
 //	dmgm-serve -addr :8321 -allow-paths            # permit graph_path jobs
 //	dmgm-serve -addr :8321 -http :9321             # live obs endpoint too
 //	dmgm-serve -addr :8321 -otlp http://localhost:4318
@@ -49,6 +56,10 @@ func main() {
 		maxRanks     = flag.Int("max-ranks", 64, "per-job rank bound")
 		allowPaths   = flag.Bool("allow-paths", false, "permit graph_path requests (daemon-local file reads); trusted callers only")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before abandoning queued jobs")
+		storeMB      = flag.Int64("store-mb", 512, "content-addressed graph store budget, MiB")
+		partCache    = flag.Int("part-cache", 64, "warm partition cache entries (negative disables)")
+		uploadTTL    = flag.Duration("upload-ttl", 2*time.Minute, "idle upload sessions expire after this")
+		uploadMB     = flag.Int64("upload-mb", 1024, "per-upload-session byte budget, MiB")
 	)
 	flag.Parse()
 
@@ -59,13 +70,17 @@ func main() {
 		obsr.EnableDetailSampling()
 	}
 	srv := service.NewServer(service.Config{
-		QueueLen:        *queueLen,
-		Workers:         *workers,
-		DefaultTimeout:  *timeout,
-		CacheEntries:    *cacheEntries,
-		MaxRanks:        *maxRanks,
-		AllowGraphPaths: *allowPaths,
-		Observer:        obsr,
+		QueueLen:              *queueLen,
+		Workers:               *workers,
+		DefaultTimeout:        *timeout,
+		CacheEntries:          *cacheEntries,
+		MaxRanks:              *maxRanks,
+		AllowGraphPaths:       *allowPaths,
+		StoreBytes:            *storeMB << 20,
+		PartitionCacheEntries: *partCache,
+		UploadTTL:             *uploadTTL,
+		MaxUploadBytes:        *uploadMB << 20,
+		Observer:              obsr,
 	})
 	srv.Start()
 
@@ -76,7 +91,7 @@ func main() {
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln) //nolint:errcheck // Shutdown's error is the one that matters
-	fmt.Fprintf(os.Stderr, "dmgm-serve: listening on http://%s (POST /v1/jobs, GET /healthz /metrics /snapshot)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "dmgm-serve: listening on http://%s (POST /v1/jobs, /v1/uploads, GET /healthz /metrics /snapshot)\n", ln.Addr())
 
 	if of.HTTP != "" {
 		liveAddr, err := obs.ServeLive(of.HTTP, srv.LiveSnapshot)

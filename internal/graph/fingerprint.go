@@ -19,40 +19,65 @@ const fingerprintVersion = 1
 // they have identical CSR content, which — since BuildUndirected sorts
 // adjacency deterministically — means identical vertex/edge/weight sets.
 //
-// The serving layer keys its result cache on (Fingerprint, algorithm,
-// params); the conformance suite can use it to assert two result-producing
-// paths consumed the same input.
+// The serving layer keys its result cache, partition cache, and
+// content-addressed graph store on the fingerprint; the DMGB codec embeds it
+// in the stream header so an upload can be content-addressed before the
+// transfer finishes; the conformance suite can use it to assert two
+// result-producing paths consumed the same input.
 func Fingerprint(g *Graph) string {
-	h := sha256.New()
-	var buf [8]byte
-	word := func(x uint64) {
-		binary.LittleEndian.PutUint64(buf[:], x)
-		h.Write(buf[:])
-	}
-	word(uint64(fingerprintVersion))
-	word(uint64(g.NumVertices()))
-	hashInt64s(h, g.Xadj)
-	word(uint64(len(g.Adj)))
-	for _, v := range g.Adj {
-		word(uint64(uint32(v)))
-	}
-	if g.W == nil {
-		word(0) // unweighted marker: distinct from any weight array
-	} else {
-		word(1)
-		for _, wt := range g.W {
-			word(math.Float64bits(wt))
-		}
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return hex.EncodeToString(fingerprintSum(g))
 }
 
-func hashInt64s(h hash.Hash, xs []int64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(len(xs)))
-	h.Write(buf[:])
+// fingerprintSum returns the raw 32-byte fingerprint digest.
+func fingerprintSum(g *Graph) []byte {
+	fh := newFPHasher()
+	fh.word(uint64(g.NumVertices()))
+	fh.int64s(g.Xadj)
+	fh.word(uint64(len(g.Adj)))
+	for _, v := range g.Adj {
+		fh.word(uint64(uint32(v)))
+	}
+	if g.W == nil {
+		fh.word(0) // unweighted marker: distinct from any weight array
+	} else {
+		fh.word(1)
+		for _, wt := range g.W {
+			fh.word(math.Float64bits(wt))
+		}
+	}
+	return fh.sum()
+}
+
+// fpHasher is the incremental form of Fingerprint: words fed in the exact
+// order fingerprintSum feeds them produce the same digest. The streaming
+// DMGB decoder uses one to compute the fingerprint while chunks of an
+// upload are still in flight, so it and Fingerprint cannot drift apart.
+type fpHasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// newFPHasher starts a fingerprint computation (the version word is already
+// folded in).
+func newFPHasher() *fpHasher {
+	fh := &fpHasher{h: sha256.New()}
+	fh.word(uint64(fingerprintVersion))
+	return fh
+}
+
+// word feeds one little-endian 64-bit word.
+func (fh *fpHasher) word(x uint64) {
+	binary.LittleEndian.PutUint64(fh.buf[:], x)
+	fh.h.Write(fh.buf[:])
+}
+
+// int64s feeds a length-prefixed int64 slice.
+func (fh *fpHasher) int64s(xs []int64) {
+	fh.word(uint64(len(xs)))
 	for _, x := range xs {
-		binary.LittleEndian.PutUint64(buf[:], uint64(x))
-		h.Write(buf[:])
+		fh.word(uint64(x))
 	}
 }
+
+// sum returns the raw digest.
+func (fh *fpHasher) sum() []byte { return fh.h.Sum(nil) }

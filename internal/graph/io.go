@@ -180,33 +180,67 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-// WriteFile writes g to path; the format is binary if the name ends in
-// ".bin", text otherwise.
+// ReadAuto reads a graph in any of this repository's formats, sniffing the
+// stream by its magic bytes: "DMGB" selects the streaming DMGB codec, the
+// legacy fixed-layout binary magic selects ReadBinary, anything else is
+// parsed as the text edge-list format. Every reader path that accepts "a
+// graph file" routes through here, so a .dmgb file works wherever a text or
+// .bin one does.
+func ReadAuto(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	prefix, err := br.Peek(8)
+	if err != nil && len(prefix) == 0 {
+		return nil, fmt.Errorf("graph: empty input: %w", err)
+	}
+	switch {
+	case IsDMGB(prefix):
+		g, _, err := readDMGB(br)
+		return g, err
+	case isLegacyBinary(prefix):
+		return ReadBinary(br)
+	default:
+		return ReadText(br)
+	}
+}
+
+// isLegacyBinary reports whether the prefix begins the fixed-layout binary
+// format (the little-endian encoding of binMagic).
+func isLegacyBinary(prefix []byte) bool {
+	if len(prefix) < 8 {
+		return false
+	}
+	return binary.LittleEndian.Uint64(prefix) == binMagic
+}
+
+// WriteFile writes g to path; the format is DMGB if the name ends in
+// ".dmgb", the legacy fixed binary if it ends in ".bin", text otherwise.
 func WriteFile(path string, g *Graph) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, ".bin") {
-		if err := WriteBinary(f, g); err != nil {
-			return err
-		}
-	} else if err := WriteText(f, g); err != nil {
+	switch {
+	case strings.HasSuffix(path, ".dmgb"):
+		err = WriteDMGB(f, g)
+	case strings.HasSuffix(path, ".bin"):
+		err = WriteBinary(f, g)
+	default:
+		err = WriteText(f, g)
+	}
+	if err != nil {
 		return err
 	}
 	return f.Close()
 }
 
-// ReadFile reads a graph written by WriteFile.
+// ReadFile reads a graph file in any supported format, sniffed by content
+// (not extension) via ReadAuto.
 func ReadFile(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, ".bin") {
-		return ReadBinary(f)
-	}
-	return ReadText(f)
+	return ReadAuto(f)
 }

@@ -20,6 +20,10 @@ type resultCache struct {
 	cap int
 	ll  *list.List // front = most recently used
 	m   map[string]*list.Element
+	// fps counts live entries per graph fingerprint — the index the upload
+	// short-circuit probes: a fingerprint with any cached result is one the
+	// daemon can answer for without the graph bytes.
+	fps map[string]int
 }
 
 // cacheEntry is one LRU node.
@@ -31,7 +35,18 @@ type cacheEntry struct {
 // newResultCache builds a cache holding up to cap entries; cap <= 0
 // disables caching (every lookup misses, every store is dropped).
 func newResultCache(cap int) *resultCache {
-	return &resultCache{cap: cap, ll: list.New(), m: make(map[string]*list.Element)}
+	return &resultCache{cap: cap, ll: list.New(), m: make(map[string]*list.Element), fps: make(map[string]int)}
+}
+
+// hasFingerprint reports whether any cached result was computed over the
+// graph with this fingerprint.
+func (c *resultCache) hasFingerprint(fp string) bool {
+	if c.cap <= 0 || fp == "" {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fps[fp] > 0
 }
 
 // get returns a copy of the cached response and marks the entry recently
@@ -64,12 +79,17 @@ func (c *resultCache) put(key string, val Response) int {
 		return 0
 	}
 	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.fps[val.Fingerprint]++
 	if c.ll.Len() <= c.cap {
 		return 0
 	}
 	last := c.ll.Back()
 	c.ll.Remove(last)
-	delete(c.m, last.Value.(*cacheEntry).key)
+	ent := last.Value.(*cacheEntry)
+	delete(c.m, ent.key)
+	if c.fps[ent.val.Fingerprint]--; c.fps[ent.val.Fingerprint] <= 0 {
+		delete(c.fps, ent.val.Fingerprint)
+	}
 	return 1
 }
 

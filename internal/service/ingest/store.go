@@ -1,0 +1,217 @@
+package ingest
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// GraphBytes estimates the resident size of a decoded graph — the unit the
+// store's byte budget is accounted in.
+func GraphBytes(g *graph.Graph) int64 {
+	return int64(len(g.Xadj))*8 + int64(len(g.Adj))*4 + int64(len(g.W))*8
+}
+
+// Store is the bounded content-addressed graph store: decoded graphs keyed
+// by their fingerprint, evicted LRU by resident bytes. It is what decouples
+// upload lifetime from job lifetime — an upload session deposits the decoded
+// graph here and hands the client a `graph_ref` (the fingerprint); any number
+// of later jobs resolve the ref without the bytes ever travelling again.
+//
+// Graphs are immutable once built, so eviction is safe under concurrent job
+// references: a job that resolved its ref keeps its pointer and runs to
+// completion even if the entry is evicted mid-run (asserted under -race by
+// the store tests).
+type Store struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List               // front = most recently used
+	m        map[string]*list.Element // fingerprint → element
+	flight   map[string]*flightCall   // in-progress loads, by caller key
+	paths    map[string]pathEntry     // daemon-local file loads, by path
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	shared    *obs.Counter // single-flight loads answered by another caller's decode
+	bytesG    *obs.Gauge
+	entriesG  *obs.Gauge
+}
+
+type storeEntry struct {
+	fp   string
+	g    *graph.Graph
+	size int64
+}
+
+// flightCall is one in-progress load other callers can wait on.
+type flightCall struct {
+	done chan struct{}
+	g    *graph.Graph
+	fp   string
+	err  error
+}
+
+// pathEntry remembers what a daemon-local file decoded to, keyed by the
+// file's stat identity so an overwritten file is re-decoded.
+type pathEntry struct {
+	fp      string
+	size    int64
+	modTime time.Time
+}
+
+// NewStore builds a store holding up to maxBytes of decoded graphs
+// (clamped to at least 1 MiB). reg may carry a nil registry; every
+// instrument is then a no-op.
+func NewStore(maxBytes int64, reg *obs.Registry) *Store {
+	if maxBytes < 1<<20 {
+		maxBytes = 1 << 20
+	}
+	return &Store{
+		maxBytes:  maxBytes,
+		ll:        list.New(),
+		m:         make(map[string]*list.Element),
+		flight:    make(map[string]*flightCall),
+		paths:     make(map[string]pathEntry),
+		hits:      reg.Counter("ingest.store_hits"),
+		misses:    reg.Counter("ingest.store_misses"),
+		evictions: reg.Counter("ingest.store_evictions"),
+		shared:    reg.Counter("ingest.store_flight_shared"),
+		bytesG:    reg.Gauge("ingest.store_bytes"),
+		entriesG:  reg.Gauge("ingest.store_entries"),
+	}
+}
+
+// Get returns the graph stored under the fingerprint, marking it recently
+// used.
+func (s *Store) Get(fp string) (*graph.Graph, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[fp]
+	if !ok {
+		s.misses.Inc()
+		return nil, false
+	}
+	s.hits.Inc()
+	s.ll.MoveToFront(el)
+	return el.Value.(*storeEntry).g, true
+}
+
+// Contains reports presence without touching LRU order or the hit counters —
+// the probe an upload session uses to decide a short-circuit.
+func (s *Store) Contains(fp string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[fp]
+	return ok
+}
+
+// Put stores a graph under its fingerprint, evicting least recently used
+// entries beyond the byte budget. The newest entry always stays, so one
+// oversized graph is held rather than thrashed.
+func (s *Store) Put(fp string, g *graph.Graph) {
+	size := GraphBytes(g)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[fp]; ok {
+		s.ll.MoveToFront(el)
+		return // content-addressed: an existing entry is the same graph
+	}
+	s.m[fp] = s.ll.PushFront(&storeEntry{fp: fp, g: g, size: size})
+	s.bytes += size
+	for s.bytes > s.maxBytes && s.ll.Len() > 1 {
+		last := s.ll.Back()
+		ent := last.Value.(*storeEntry)
+		s.ll.Remove(last)
+		delete(s.m, ent.fp)
+		s.bytes -= ent.size
+		s.evictions.Inc()
+	}
+	s.bytesG.Set(s.bytes)
+	s.entriesG.Set(int64(s.ll.Len()))
+}
+
+// Len reports the entry count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Bytes reports the resident byte total.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// LoadPath resolves a daemon-local graph file through the store: the file is
+// streamed through the sniffing decoder at most once per content version
+// (stat identity), concurrent loads of the same path share one decode
+// (single flight), and the decoded graph lands in the store under its
+// fingerprint. Returns the graph and its fingerprint.
+func (s *Store) LoadPath(path string) (*graph.Graph, string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, "", err
+	}
+	s.mu.Lock()
+	if pe, ok := s.paths[path]; ok && pe.size == info.Size() && pe.modTime.Equal(info.ModTime()) {
+		if el, ok := s.m[pe.fp]; ok {
+			s.hits.Inc()
+			s.ll.MoveToFront(el)
+			g := el.Value.(*storeEntry).g
+			s.mu.Unlock()
+			return g, pe.fp, nil
+		}
+	}
+	s.mu.Unlock()
+	g, fp, err := s.loadShared("path:"+path, func() (*graph.Graph, string, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		g, err := graph.ReadAuto(f) // streaming decode; never buffers the file
+		if err != nil {
+			return nil, "", fmt.Errorf("decoding %s: %w", path, err)
+		}
+		return g, graph.Fingerprint(g), nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	s.mu.Lock()
+	s.paths[path] = pathEntry{fp: fp, size: info.Size(), modTime: info.ModTime()}
+	s.mu.Unlock()
+	s.Put(fp, g)
+	return g, fp, nil
+}
+
+// loadShared runs load once per key across concurrent callers.
+func (s *Store) loadShared(key string, load func() (*graph.Graph, string, error)) (*graph.Graph, string, error) {
+	s.mu.Lock()
+	if c, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		s.shared.Inc()
+		<-c.done
+		return c.g, c.fp, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[key] = c
+	s.misses.Inc()
+	s.mu.Unlock()
+
+	c.g, c.fp, c.err = load()
+	s.mu.Lock()
+	delete(s.flight, key)
+	s.mu.Unlock()
+	close(c.done)
+	return c.g, c.fp, c.err
+}

@@ -38,8 +38,10 @@ const (
 // Request is one job submission, the JSON body of POST /v1/jobs.
 //
 // Exactly one of Graph (the inline text edge-list format of
-// internal/graph) and GraphPath (a daemon-local file, text or binary) must
-// be set. The remaining fields are the distributed-run parameters the
+// internal/graph), GraphPath (a daemon-local file in any supported format),
+// and GraphRef (the fingerprint of a graph already held by the daemon —
+// from a chunked upload, a prior job, or a previous path load) must be set.
+// The remaining fields are the distributed-run parameters the
 // dmgm-match / dmgm-color CLIs expose; zero values select the same defaults
 // the CLIs use, so a service job and a CLI run with equal inputs produce
 // byte-identical results.
@@ -48,8 +50,13 @@ type Request struct {
 	Algorithm string `json:"algorithm"`
 	// Graph is the graph inline, in the text edge-list format.
 	Graph string `json:"graph,omitempty"`
-	// GraphPath is a daemon-local graph file path (text or .bin).
+	// GraphPath is a daemon-local graph file path (any supported format,
+	// sniffed by content).
 	GraphPath string `json:"graph_path,omitempty"`
+	// GraphRef is a graph fingerprint resolved against the daemon's
+	// content-addressed store (docs/PROTOCOL.md §7). An unknown ref — never
+	// uploaded, or evicted — answers 404; re-upload to restore it.
+	GraphRef string `json:"graph_ref,omitempty"`
 	// Ranks is the number of ranks of the distributed run (default 4).
 	Ranks int `json:"ranks,omitempty"`
 	// Partition selects the partitioner: multilevel (default) | bfs |
@@ -84,8 +91,14 @@ func (r *Request) normalize(maxRanks int) string {
 	default:
 		return fmt.Sprintf("unknown algorithm %q: want match | color", r.Algorithm)
 	}
-	if (r.Graph == "") == (r.GraphPath == "") {
-		return "exactly one of graph (inline) and graph_path must be set"
+	sources := 0
+	for _, set := range []bool{r.Graph != "", r.GraphPath != "", r.GraphRef != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return "exactly one of graph (inline), graph_path, and graph_ref must be set"
 	}
 	if r.Ranks == 0 {
 		r.Ranks = 4

@@ -16,6 +16,8 @@ import (
 	"repro/internal/matching"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/service/ingest"
 )
 
 // Config sizes one Server. The zero value is usable: every field has a
@@ -45,6 +47,18 @@ type Config struct {
 	// AllowGraphPaths permits graph_path requests, which read daemon-local
 	// files. Leave false for anything but a trusted-caller deployment.
 	AllowGraphPaths bool
+	// StoreBytes bounds the content-addressed graph store (default 512 MiB).
+	StoreBytes int64
+	// PartitionCacheEntries bounds the warm partition cache (default 64;
+	// negative disables it).
+	PartitionCacheEntries int
+	// UploadTTL expires idle upload sessions (default 2 minutes).
+	UploadTTL time.Duration
+	// MaxUploadBytes bounds one upload session (default 1 GiB).
+	MaxUploadBytes int64
+	// MaxUploadSessions bounds concurrently open upload sessions
+	// (default 64).
+	MaxUploadSessions int
 	// Observer collects service metrics and per-job spans; nil runs with
 	// metrics disabled (every instrument is a nil no-op).
 	Observer *obs.Observer
@@ -71,6 +85,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 256 << 20
+	}
+	if c.StoreBytes == 0 {
+		c.StoreBytes = 512 << 20
+	}
+	if c.PartitionCacheEntries == 0 {
+		c.PartitionCacheEntries = 64
 	}
 }
 
@@ -102,10 +122,13 @@ func (j *job) finish(status int, resp *Response, errMsg string) {
 // front of everything. Create with NewServer, expose Handler over HTTP,
 // call Start, and Drain+Stop on the way out.
 type Server struct {
-	cfg   Config
-	obsr  *obs.Observer
-	pool  *worldPool
-	cache *resultCache
+	cfg    Config
+	obsr   *obs.Observer
+	pool   *worldPool
+	cache  *resultCache
+	store  *ingest.Store
+	ingest *ingest.Manager
+	parts  *partCache
 
 	queue    chan *job
 	quit     chan struct{}
@@ -131,6 +154,9 @@ type Server struct {
 	hits        *obs.Counter
 	misses      *obs.Counter
 	evictions   *obs.Counter
+	partHits    *obs.Counter
+	partMisses  *obs.Counter
+	partEvicts  *obs.Counter
 	queueDepth  *obs.Gauge
 	inflight    *obs.Gauge
 	cacheGauge  *obs.Gauge
@@ -148,6 +174,8 @@ func NewServer(cfg Config) *Server {
 		obsr:  cfg.Observer,
 		pool:  newWorldPool(cfg.WorldDeadline, cfg.Workers*2, reg),
 		cache: newResultCache(cfg.CacheEntries),
+		store: ingest.NewStore(cfg.StoreBytes, reg),
+		parts: newPartCache(cfg.PartitionCacheEntries),
 		queue: make(chan *job, cfg.QueueLen),
 		quit:  make(chan struct{}),
 
@@ -160,6 +188,9 @@ func NewServer(cfg Config) *Server {
 		hits:        reg.Counter("service.cache_hits"),
 		misses:      reg.Counter("service.cache_misses"),
 		evictions:   reg.Counter("service.cache_evictions"),
+		partHits:    reg.Counter("service.partition_cache_hits"),
+		partMisses:  reg.Counter("service.partition_cache_misses"),
+		partEvicts:  reg.Counter("service.partition_cache_evictions"),
 		queueDepth:  reg.Gauge("service.queue_depth"),
 		inflight:    reg.Gauge("service.inflight"),
 		cacheGauge:  reg.Gauge("service.cache_entries"),
@@ -169,6 +200,16 @@ func NewServer(cfg Config) *Server {
 	}
 	reg.Gauge("service.queue_cap").Set(int64(cfg.QueueLen))
 	reg.Gauge("service.workers").Set(int64(cfg.Workers))
+	s.ingest = ingest.NewManager(ingest.Config{
+		TTL:         cfg.UploadTTL,
+		MaxSessions: cfg.MaxUploadSessions,
+		MaxBytes:    cfg.MaxUploadBytes,
+		Store:       s.store,
+		// Fingerprints with a cached result are answerable without the
+		// graph bytes, so uploads of them short-circuit too.
+		Known:    s.cache.hasFingerprint,
+		Registry: reg,
+	})
 	return s
 }
 
@@ -207,6 +248,7 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { close(s.quit) })
 	s.workers.Wait()
+	s.ingest.Stop()
 }
 
 // Draining reports whether the server has begun shutting down.
@@ -214,13 +256,19 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the HTTP surface:
 //
-//	POST /v1/jobs   submit a job, wait for its result
-//	GET  /healthz   liveness ("ok", or 503 "draining")
-//	GET  /metrics   the metrics registry, canonical JSON
-//	GET  /snapshot  obs.LiveSnapshot (metrics only; no ranks outside a job)
+//	POST   /v1/jobs                      submit a job, wait for its result
+//	POST   /v1/uploads                   open a chunked upload session
+//	PUT    /v1/uploads/{id}/chunks/{n}   send one chunk (idempotent)
+//	GET    /v1/uploads/{id}              session status (resume point)
+//	POST   /v1/uploads/{id}/complete     finalize, obtain the graph_ref
+//	DELETE /v1/uploads/{id}              abort a session
+//	GET    /healthz                      liveness ("ok", or 503 "draining")
+//	GET    /metrics                      the metrics registry, canonical JSON
+//	GET    /snapshot                     obs.LiveSnapshot (metrics only)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleSubmit)
+	s.ingest.RegisterRoutes(mux)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
@@ -299,12 +347,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%s", msg)
 		return
 	}
-	g, err := s.loadGraph(&req)
+	g, fp, status, err := s.loadGraph(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "loading graph: %v", err)
+		writeError(w, status, "loading graph: %v", err)
 		return
 	}
-	fp := graph.Fingerprint(g)
 	key := req.cacheKey(fp)
 	id := fmt.Sprintf("job-%d", s.nextID.Add(1))
 	if !req.NoCache {
@@ -360,15 +407,42 @@ func (s *Server) respond(w http.ResponseWriter, resp *Response) {
 	}
 }
 
-// loadGraph resolves the request's graph, inline or daemon-local.
-func (s *Server) loadGraph(req *Request) (*graph.Graph, error) {
-	if req.Graph != "" {
-		return graph.ReadText(strings.NewReader(req.Graph))
+// loadGraph resolves the request's graph — inline, by reference, or
+// daemon-local — returning the graph, its fingerprint, and on failure the
+// HTTP status to answer with.
+func (s *Server) loadGraph(req *Request) (*graph.Graph, string, int, error) {
+	switch {
+	case req.Graph != "":
+		g, err := graph.ReadText(strings.NewReader(req.Graph))
+		if err != nil {
+			return nil, "", http.StatusBadRequest, err
+		}
+		fp := graph.Fingerprint(g)
+		// Inline graphs land in the store too, so the caller can switch to
+		// graph_ref (the response fingerprint) and uploads of the same
+		// content short-circuit.
+		s.store.Put(fp, g)
+		return g, fp, 0, nil
+	case req.GraphRef != "":
+		g, ok := s.store.Get(req.GraphRef)
+		if !ok {
+			return nil, "", http.StatusNotFound,
+				fmt.Errorf("unknown graph_ref %s (never uploaded, or evicted): upload the graph again", req.GraphRef)
+		}
+		return g, req.GraphRef, 0, nil
+	default:
+		if !s.cfg.AllowGraphPaths {
+			return nil, "", http.StatusBadRequest,
+				fmt.Errorf("graph_path is disabled on this server; send the graph inline or upload it")
+		}
+		// Daemon-local files stream through the store: decoded at most once
+		// per content version, shared across concurrent jobs.
+		g, fp, err := s.store.LoadPath(req.GraphPath)
+		if err != nil {
+			return nil, "", http.StatusBadRequest, err
+		}
+		return g, fp, 0, nil
 	}
-	if !s.cfg.AllowGraphPaths {
-		return nil, fmt.Errorf("graph_path is disabled on this server; send the graph inline")
-	}
-	return graph.ReadFile(req.GraphPath)
 }
 
 // workerLoop pulls admitted jobs until Stop.
@@ -421,7 +495,7 @@ func (s *Server) execute(j *job) {
 	defer s.inflight.Add(-1)
 	resCh := make(chan execResult, 1)
 	go func() {
-		resp, err := runJob(w, j)
+		resp, err := s.runJob(w, j)
 		resCh <- execResult{resp, err}
 	}()
 	select {
@@ -463,11 +537,31 @@ func (s *Server) observeJob(j *job, start time.Time, elapsed time.Duration) {
 	s.spanMu.Unlock()
 }
 
+// getPartition resolves the job's partition through the warm partition
+// cache; a miss runs the requested partitioner and warms the cache. The key
+// covers the full derivation (fingerprint, partitioner, ranks, seed), and
+// partitions are read-only downstream, so sharing one instance across
+// concurrent jobs is safe.
+func (s *Server) getPartition(j *job) (*partition.Partition, error) {
+	key := partitionKey(j.fp, j.req.Partition, j.req.Ranks, j.req.Seed)
+	if p, ok := s.parts.get(key); ok {
+		s.partHits.Inc()
+		return p, nil
+	}
+	s.partMisses.Inc()
+	p, err := j.req.buildPartition(j.g)
+	if err != nil {
+		return nil, err
+	}
+	s.partEvicts.Add(int64(s.parts.put(key, p)))
+	return p, nil
+}
+
 // runJob executes the algorithm on the given world — the same dmgm entry
 // points the CLIs call, so a service job and a CLI run with equal inputs
 // produce byte-identical results (asserted by the conformance tests).
-func runJob(w *mpi.World, j *job) (*Response, error) {
-	part, err := j.req.buildPartition(j.g)
+func (s *Server) runJob(w *mpi.World, j *job) (*Response, error) {
+	part, err := s.getPartition(j)
 	if err != nil {
 		return nil, err
 	}
