@@ -24,6 +24,13 @@
 // hint; a job only counts as failed when its retries are exhausted or the
 // request itself is rejected. Exit status is non-zero on any failure, and
 // on a cold cache under -require-cached.
+//
+// -tenant accounts every request to a named tenant (docs/PROTOCOL.md §8);
+// two dmgm-load processes with different tenants reproduce the fairness
+// demo in the README. After the run the generator scrapes its own tenant's
+// reject counter: -forbid-tenant-rejects fails if it is non-zero (the
+// well-behaved tenant must never be shed), -require-tenant-rejects fails
+// if it is zero (the saturating tenant must have hit its quota).
 package main
 
 import (
@@ -63,6 +70,9 @@ func main() {
 		upChunk  = flag.Int64("upload-chunk", 0, "upload chunk size in bytes (0: server default)")
 		upFault  = flag.Int("upload-fault", 0, "inject a simulated fault every n-th chunk (0 disables)")
 		compare  = flag.Bool("compare-inline", false, "with -upload: fail unless a by-ref job answers byte-identically to the same job sent inline")
+		tenant   = flag.String("tenant", "", "tenant to account requests to (X-DMGM-Tenant header; empty = server default tenant)")
+		reqTenR  = flag.Bool("require-tenant-rejects", false, "fail unless this tenant's server-side reject counter is non-zero after the run")
+		forbTenR = flag.Bool("forbid-tenant-rejects", false, "fail if this tenant's server-side reject counter is non-zero after the run")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -99,6 +109,7 @@ func main() {
 	}
 
 	cl := client.New(*addr)
+	cl.Tenant = *tenant
 	ctx := context.Background()
 	if err := cl.WaitReady(ctx, *wait); err != nil {
 		fmt.Fprintf(os.Stderr, "dmgm-load: %v\n", err)
@@ -221,12 +232,17 @@ func main() {
 
 	// Server-side counters close the loop: client-observed "cached" answers
 	// and the daemon's own hit counter should both be non-zero on repeats.
-	var serverHits, serverRejects, partHits, storeHits int64
+	var serverHits, serverRejects, partHits, storeHits, tenantRejects int64
+	scrapeTenant := *tenant
+	if scrapeTenant == "" {
+		scrapeTenant = service.DefaultTenant
+	}
 	if m, err := cl.Metrics(ctx); err == nil {
 		serverHits = m.Counters["service.cache_hits"]
 		serverRejects = m.Counters["service.jobs_rejected"]
 		partHits = m.Counters["service.partition_cache_hits"]
 		storeHits = m.Counters["ingest.store_hits"]
+		tenantRejects = m.Counters["service.tenant."+scrapeTenant+".rejected"]
 	} else {
 		fmt.Fprintf(os.Stderr, "dmgm-load: metrics scrape: %v\n", err)
 	}
@@ -246,6 +262,8 @@ func main() {
 		Cached        int     `json:"cached"`
 		ServerHits    int64   `json:"server_cache_hits"`
 		ServerRejects int64   `json:"server_rejects"`
+		Tenant        string  `json:"tenant,omitempty"`
+		TenantRejects int64   `json:"tenant_rejects"`
 		PartHits      int64   `json:"server_partition_cache_hits"`
 		StoreHits     int64   `json:"server_store_hits"`
 		Attempts      int64   `json:"attempts"`
@@ -267,6 +285,8 @@ func main() {
 		Cached:        cached,
 		ServerHits:    serverHits,
 		ServerRejects: serverRejects,
+		Tenant:        scrapeTenant,
+		TenantRejects: tenantRejects,
 		PartHits:      partHits,
 		StoreHits:     storeHits,
 		Attempts:      attempts.Load(),
@@ -293,6 +313,7 @@ func main() {
 	} else {
 		fmt.Printf("jobs %d  ok %d  failed %d  cached %d (server hits %d, rejects %d, partition hits %d, store hits %d)  attempts %d\n",
 			summary.Jobs, summary.OK, summary.Failed, summary.Cached, serverHits, serverRejects, partHits, storeHits, summary.Attempts)
+		fmt.Printf("tenant %s  rejects %d\n", scrapeTenant, tenantRejects)
 		fmt.Printf("elapsed %.2fs  throughput %.1f jobs/s\n", summary.Seconds, summary.JobsPerSec)
 		fmt.Printf("latency p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",
 			summary.P50Millis, summary.P90Millis, summary.P99Millis, summary.MaxMillis)
@@ -305,6 +326,14 @@ func main() {
 	}
 	if *requireC && serverHits == 0 {
 		fmt.Fprintln(os.Stderr, "dmgm-load: -require-cached: server reports zero cache hits")
+		os.Exit(1)
+	}
+	if *reqTenR && tenantRejects == 0 {
+		fmt.Fprintf(os.Stderr, "dmgm-load: -require-tenant-rejects: tenant %s saw zero rejects (expected backpressure)\n", scrapeTenant)
+		os.Exit(1)
+	}
+	if *forbTenR && tenantRejects > 0 {
+		fmt.Fprintf(os.Stderr, "dmgm-load: -forbid-tenant-rejects: tenant %s saw %d rejects (expected none)\n", scrapeTenant, tenantRejects)
 		os.Exit(1)
 	}
 }

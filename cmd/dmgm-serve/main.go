@@ -11,11 +11,17 @@
 // warm partition cache skips re-partitioning across jobs over the same
 // stored graph.
 //
+// Admission is per tenant (docs/PROTOCOL.md §8): callers name their tenant
+// with the X-DMGM-Tenant header, -tenants loads per-tenant weights and
+// quotas from a JSON file, and SIGHUP reloads that file live without
+// dropping queued jobs.
+//
 // Usage:
 //
 //	dmgm-serve -addr :8321
 //	dmgm-serve -addr :8321 -workers 4 -queue 64 -cache 256
 //	dmgm-serve -addr :8321 -store-mb 1024 -upload-ttl 5m
+//	dmgm-serve -addr :8321 -tenants tenants.json   # per-tenant quotas
 //	dmgm-serve -addr :8321 -allow-paths            # permit graph_path jobs
 //	dmgm-serve -addr :8321 -http :9321             # live obs endpoint too
 //	dmgm-serve -addr :8321 -otlp http://localhost:4318
@@ -60,8 +66,20 @@ func main() {
 		partCache    = flag.Int("part-cache", 64, "warm partition cache entries (negative disables)")
 		uploadTTL    = flag.Duration("upload-ttl", 2*time.Minute, "idle upload sessions expire after this")
 		uploadMB     = flag.Int64("upload-mb", 1024, "per-upload-session byte budget, MiB")
+		tenantsPath  = flag.String("tenants", "", "per-tenant quota config, JSON (docs/OPERATIONS.md); SIGHUP reloads it live")
+		maxTenants   = flag.Int("max-tenants", 64, "distinct tenant queues; further tenant names fold into the default queue")
 	)
 	flag.Parse()
+
+	var policies *service.TenantPolicies
+	if *tenantsPath != "" {
+		p, err := service.LoadTenantPolicies(*tenantsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmgm-serve: %v\n", err)
+			os.Exit(1)
+		}
+		policies = p
+	}
 
 	// The daemon always carries an observer: /metrics is part of the service
 	// surface, and per-job spans cost nothing to keep in the driver ring.
@@ -80,9 +98,29 @@ func main() {
 		PartitionCacheEntries: *partCache,
 		UploadTTL:             *uploadTTL,
 		MaxUploadBytes:        *uploadMB << 20,
+		Policies:              policies,
+		MaxTenants:            *maxTenants,
 		Observer:              obsr,
 	})
 	srv.Start()
+
+	// SIGHUP reloads the tenant quota file live. A bad file keeps the
+	// running policies — a reload must never degrade a healthy daemon.
+	if *tenantsPath != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				p, err := service.LoadTenantPolicies(*tenantsPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dmgm-serve: tenants reload failed, keeping current policies: %v\n", err)
+					continue
+				}
+				srv.SetPolicies(p)
+				fmt.Fprintf(os.Stderr, "dmgm-serve: reloaded tenant policies from %s\n", *tenantsPath)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

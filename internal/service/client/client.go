@@ -49,6 +49,10 @@ type Client struct {
 	// HTTP is the underlying client; nil uses a default with no timeout
 	// (job deadlines are enforced per call through the context).
 	HTTP *http.Client
+	// Tenant, when non-empty, is sent as the X-DMGM-Tenant header on every
+	// job submission and upload call, accounting the work to that tenant's
+	// quotas (docs/PROTOCOL.md §8). Empty means the server's default tenant.
+	Tenant string
 }
 
 // New builds a client for the given base URL (a bare host:port is
@@ -79,6 +83,9 @@ func (c *Client) Submit(ctx context.Context, req *service.Request) (*service.Res
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if c.Tenant != "" {
+		hreq.Header.Set(service.TenantHeader, c.Tenant)
+	}
 	hresp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return nil, err

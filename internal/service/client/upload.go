@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/service"
 	"repro/internal/service/ingest"
 )
 
@@ -104,6 +105,9 @@ func (c *Client) UploadChunk(ctx context.Context, id string, idx int, data []byt
 		}
 		hreq.Header.Set("Content-Type", "application/octet-stream")
 		hreq.Header.Set("X-Chunk-SHA256", hex.EncodeToString(sum[:]))
+		if c.Tenant != "" {
+			hreq.Header.Set(service.TenantHeader, c.Tenant)
+		}
 		hresp, err := c.httpClient().Do(hreq)
 		if err == nil {
 			if hresp.StatusCode == http.StatusOK {
@@ -251,6 +255,9 @@ func (c *Client) uploadCall(ctx context.Context, method, path string, body []byt
 	}
 	if contentType != "" {
 		hreq.Header.Set("Content-Type", contentType)
+	}
+	if c.Tenant != "" {
+		hreq.Header.Set(service.TenantHeader, c.Tenant)
 	}
 	hresp, err := c.httpClient().Do(hreq)
 	if err != nil {

@@ -65,6 +65,13 @@ type Config struct {
 	// graph store, the result cache); a DMGB session declaring one
 	// short-circuits. nil means only Store.Contains is consulted.
 	Known func(fp string) bool
+	// Admit gates session opens — the serving layer charges uploads against
+	// per-tenant budgets here (docs/PROTOCOL.md §8). Called before the
+	// session exists, it returns either a release hook, which the manager
+	// runs exactly once when the session leaves the uploading state (or
+	// immediately, if opening fails), or a *ChunkError to answer the open
+	// with. nil admits every open.
+	Admit func(r *http.Request) (release func(), err *ChunkError)
 	// Registry carries the ingest metrics; nil disables them.
 	Registry *obs.Registry
 }
@@ -250,6 +257,11 @@ type session struct {
 	pw        *io.PipeWriter
 	decoded   *decodeResult
 	decodedCh chan struct{} // closed once decoded is set
+
+	// release is the admission hook from Config.Admit; relOnce guarantees
+	// it runs at most once, however many paths observe the terminal state.
+	release func()
+	relOnce sync.Once
 }
 
 func (s *session) deadline() time.Time {
@@ -274,7 +286,33 @@ func (s *session) end(state, why string) bool {
 	if wasUploading {
 		s.pw.CloseWithError(errAborted)
 	}
+	s.settle()
 	return wasUploading
+}
+
+// setRelease attaches the admission release hook. If the session already
+// ended — possible the instant after Open — the hook runs immediately.
+func (s *session) setRelease(rel func()) {
+	s.mu.Lock()
+	s.release = rel
+	terminal := s.state != StateUploading
+	s.mu.Unlock()
+	if terminal {
+		s.relOnce.Do(rel)
+	}
+}
+
+// settle runs the admission release hook if the session has left the
+// uploading state. Idempotent and safe from any goroutine; every terminal
+// transition calls it after dropping the session lock.
+func (s *session) settle() {
+	s.mu.Lock()
+	terminal := s.state != StateUploading
+	rel := s.release
+	s.mu.Unlock()
+	if terminal && rel != nil {
+		s.relOnce.Do(rel)
+	}
 }
 
 // Open creates a session. chunkBytes 0 selects the 4 MiB default.
@@ -378,6 +416,7 @@ func (s *session) decodeLoop(pr *io.PipeReader) {
 		s.pending = nil
 	}
 	s.mu.Unlock()
+	s.settle()
 	close(s.decodedCh)
 }
 
@@ -536,6 +575,7 @@ func (m *Manager) maybeShortCircuit(s *session) {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.pw.CloseWithError(errAborted)
+	s.settle()
 	m.shortCircs.Inc()
 }
 
@@ -596,6 +636,8 @@ func (m *Manager) Complete(s *session, totalChunks int, cancel <-chan struct{}) 
 	}
 
 	s.mu.Lock()
+	// Deferred LIFO: unlock first, then settle (settle retakes the lock).
+	defer s.settle()
 	defer s.mu.Unlock()
 	s.lastActive = time.Now()
 	if s.state == StateShortCircuit {
@@ -710,12 +752,24 @@ func (s *session) statusLocked() *Status {
 }
 
 // ChunkError is a client-visible upload error with its HTTP status.
+// RetryAfter, when positive, becomes a Retry-After header (seconds) — rate
+// and budget rejections carry the wait the caller's own bucket implies.
 type ChunkError struct {
-	Code int
-	Msg  string
+	Code       int
+	Msg        string
+	RetryAfter int
 }
 
 func (e *ChunkError) Error() string { return e.Msg }
+
+// writeChunkError answers with the error's status, message, and (when set)
+// Retry-After header.
+func writeChunkError(w http.ResponseWriter, ce *ChunkError) {
+	if ce.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ce.RetryAfter))
+	}
+	jsonError(w, ce.Code, "%s", ce.Msg)
+}
 
 // ---- HTTP surface -------------------------------------------------------
 
@@ -760,8 +814,20 @@ func (m *Manager) handleOpen(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var release func()
+	if m.cfg.Admit != nil {
+		rel, ce := m.cfg.Admit(r)
+		if ce != nil {
+			writeChunkError(w, ce)
+			return
+		}
+		release = rel
+	}
 	s, err := m.Open(req.ChunkBytes)
 	if err != nil {
+		if release != nil {
+			release()
+		}
 		if errors.Is(err, errTooManySessions) {
 			w.Header().Set("Retry-After", "1")
 			jsonError(w, http.StatusTooManyRequests, "%v: retry later", err)
@@ -769,6 +835,9 @@ func (m *Manager) handleOpen(w http.ResponseWriter, r *http.Request) {
 		}
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if release != nil {
+		s.setRelease(release)
 	}
 	jsonStatus(w, m.Status(s))
 }
@@ -804,7 +873,7 @@ func (m *Manager) handleChunk(w http.ResponseWriter, r *http.Request) {
 	if aerr != nil {
 		var ce *ChunkError
 		if errors.As(aerr, &ce) {
-			jsonError(w, ce.Code, "%s", ce.Msg)
+			writeChunkError(w, ce)
 			return
 		}
 		jsonError(w, http.StatusInternalServerError, "%v", aerr)
@@ -833,7 +902,7 @@ func (m *Manager) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if cerr != nil {
 		var ce *ChunkError
 		if errors.As(cerr, &ce) {
-			jsonError(w, ce.Code, "%s", ce.Msg)
+			writeChunkError(w, ce)
 			return
 		}
 		jsonError(w, http.StatusInternalServerError, "%v", cerr)

@@ -12,12 +12,16 @@
 //     (mpi.World.Reset), so per-job World setup disappears;
 //   - an LRU result cache keyed by (graph fingerprint, algorithm, params),
 //     so repeated identical requests never recompute;
-//   - a bounded admission queue with backpressure (429 + Retry-After),
-//     per-job deadlines, and graceful drain, so the daemon degrades
-//     predictably instead of collapsing under overload.
+//   - per-tenant fair admission: every job and upload is accounted to a
+//     tenant (the X-DMGM-Tenant header, or "default"), each tenant has a
+//     token-bucket rate limit, a bounded queue, and concurrency budgets,
+//     and a weighted deficit-round-robin dispatcher interleaves tenant
+//     queues so a hot caller sheds (429 + Retry-After from its own
+//     bucket) without starving anyone else.
 //
-// The HTTP surface is specified in docs/PROTOCOL.md §6; architecture
-// context is DESIGN.md §9.
+// The HTTP surface is specified in docs/PROTOCOL.md §6 and the tenancy
+// contract in §8; architecture context is DESIGN.md §9. Operational
+// guidance (sizing, quota tuning, drain) is docs/OPERATIONS.md.
 package service
 
 import (
@@ -197,6 +201,9 @@ type Response struct {
 	Algorithm   string `json:"algorithm"`
 	Ranks       int    `json:"ranks"`
 	Fingerprint string `json:"graph_fingerprint"`
+	// Tenant is the tenant the job was accounted to (docs/PROTOCOL.md §8):
+	// the X-DMGM-Tenant request header, or "default" for anonymous callers.
+	Tenant string `json:"tenant,omitempty"`
 
 	// Matching results.
 	Weight      float64 `json:"weight,omitempty"`

@@ -59,6 +59,17 @@ type Config struct {
 	// MaxUploadSessions bounds concurrently open upload sessions
 	// (default 64).
 	MaxUploadSessions int
+	// Policies carries the per-tenant admission budgets (weights, rate
+	// limits, queue/concurrency/upload bounds — docs/PROTOCOL.md §8). nil
+	// applies the permissive default policy to every tenant: weight 1, no
+	// rate limit, queue bound QueueLen. Replaceable at runtime with
+	// SetPolicies.
+	Policies *TenantPolicies
+	// MaxTenants bounds the distinct tenant queues the scheduler tracks
+	// (default 64). Callers beyond the bound share the default tenant's
+	// queue and budgets, so an attacker inventing header values cannot grow
+	// server state without bound.
+	MaxTenants int
 	// Observer collects service metrics and per-job spans; nil runs with
 	// metrics disabled (every instrument is a nil no-op).
 	Observer *obs.Observer
@@ -92,17 +103,22 @@ func (c *Config) fillDefaults() {
 	if c.PartitionCacheEntries == 0 {
 		c.PartitionCacheEntries = 64
 	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 64
+	}
 }
 
-// job is one admitted submission moving through the queue.
+// job is one admitted submission moving through its tenant's queue.
 type job struct {
-	id   string
-	req  *Request
-	g    *graph.Graph
-	fp   string
-	key  string
-	ctx  context.Context
-	done chan struct{} // closed exactly once, after resp/status are set
+	id     string
+	tenant string
+	tq     *tenantQueue
+	req    *Request
+	g      *graph.Graph
+	fp     string
+	key    string
+	ctx    context.Context
+	done   chan struct{} // closed exactly once, after resp/status are set
 
 	resp   *Response
 	status int
@@ -117,10 +133,12 @@ func (j *job) finish(status int, resp *Response, errMsg string) {
 	close(j.done)
 }
 
-// Server is the dmgm job service: a bounded admission queue in front of a
-// fixed worker pool, a World pool underneath, and an LRU result cache in
-// front of everything. Create with NewServer, expose Handler over HTTP,
-// call Start, and Drain+Stop on the way out.
+// Server is the dmgm job service: per-tenant admission queues dispatched by
+// a weighted deficit-round-robin scheduler in front of a fixed worker pool,
+// a World pool underneath, and an LRU result cache in front of everything.
+// Create with NewServer, expose Handler over HTTP, call Start, and
+// Drain+Stop on the way out. All exported methods are safe for concurrent
+// use once NewServer returns.
 type Server struct {
 	cfg    Config
 	obsr   *obs.Observer
@@ -129,9 +147,8 @@ type Server struct {
 	store  *ingest.Store
 	ingest *ingest.Manager
 	parts  *partCache
+	sched  *tenantSched
 
-	queue    chan *job
-	quit     chan struct{}
 	stopOnce sync.Once
 	draining atomic.Bool
 	admitMu  sync.Mutex     // orders admissions against the drain flag flip
@@ -176,8 +193,7 @@ func NewServer(cfg Config) *Server {
 		cache: newResultCache(cfg.CacheEntries),
 		store: ingest.NewStore(cfg.StoreBytes, reg),
 		parts: newPartCache(cfg.PartitionCacheEntries),
-		queue: make(chan *job, cfg.QueueLen),
-		quit:  make(chan struct{}),
+		sched: newTenantSched(cfg.Policies, cfg.QueueLen, cfg.MaxTenants, reg),
 
 		submitted:   reg.Counter("service.jobs_submitted"),
 		completed:   reg.Counter("service.jobs_completed"),
@@ -207,10 +223,53 @@ func NewServer(cfg Config) *Server {
 		Store:       s.store,
 		// Fingerprints with a cached result are answerable without the
 		// graph bytes, so uploads of them short-circuit too.
-		Known:    s.cache.hasFingerprint,
+		Known: s.cache.hasFingerprint,
+		// Uploads pass the same per-tenant admission as jobs: one rate
+		// token per session open, counted against the tenant's upload cap.
+		Admit:    s.admitUpload,
 		Registry: reg,
 	})
 	return s
+}
+
+// SetPolicies replaces the per-tenant admission policies at runtime — the
+// dmgm-serve SIGHUP reload path. Existing queues are re-bound in place:
+// queued jobs stay queued, token-bucket levels carry over clamped to the
+// new burst. Safe to call concurrently with traffic; nil resets every
+// tenant to the permissive default policy.
+func (s *Server) SetPolicies(p *TenantPolicies) {
+	s.sched.setPolicies(p)
+}
+
+// admitUpload gates one upload-session open against the caller's tenant
+// budgets (docs/PROTOCOL.md §8): draining refuses with 503, the open
+// consumes one rate token, and the session occupies one slot of the
+// tenant's upload cap until it settles. The returned release func gives the
+// slot back; ingest calls it exactly once when the session leaves the
+// uploading state.
+func (s *Server) admitUpload(r *http.Request) (func(), *ingest.ChunkError) {
+	tenant, ok := tenantFrom(r)
+	if !ok {
+		return nil, &ingest.ChunkError{Code: http.StatusBadRequest,
+			Msg: fmt.Sprintf("invalid %s header %q: want %s", TenantHeader, r.Header.Get(TenantHeader), tenantNameRe)}
+	}
+	if s.draining.Load() {
+		s.drainRejs.Inc()
+		return nil, &ingest.ChunkError{Code: http.StatusServiceUnavailable,
+			RetryAfter: retryAfterSeconds, Msg: "draining: not accepting uploads"}
+	}
+	tq := s.sched.tenantFor(tenant)
+	if secs, ok := s.sched.takeToken(tq); !ok {
+		tq.upRejected.Inc()
+		return nil, &ingest.ChunkError{Code: http.StatusTooManyRequests, RetryAfter: secs,
+			Msg: fmt.Sprintf("tenant %q over its rate limit: retry in %ds", tenant, secs)}
+	}
+	if !s.sched.addUpload(tq) {
+		tq.upRejected.Inc()
+		return nil, &ingest.ChunkError{Code: http.StatusTooManyRequests, RetryAfter: retryAfterSeconds,
+			Msg: fmt.Sprintf("tenant %q is at its %d-session upload cap: finish or abort one", tenant, tq.pol.MaxUploads)}
+	}
+	return func() { s.sched.dropUpload(tq) }, nil
 }
 
 // Start launches the worker pool.
@@ -246,7 +305,7 @@ func (s *Server) Drain(ctx context.Context) error {
 // queued are abandoned (their waiters time out via job deadlines), so
 // Drain first for a graceful exit.
 func (s *Server) Stop() {
-	s.stopOnce.Do(func() { close(s.quit) })
+	s.stopOnce.Do(func() { s.sched.stop() })
 	s.workers.Wait()
 	s.ingest.Stop()
 }
@@ -287,7 +346,7 @@ func (s *Server) LiveSnapshot() *obs.LiveSnapshot {
 
 // refreshGauges recomputes the sampled gauges a scrape observes.
 func (s *Server) refreshGauges() {
-	s.queueDepth.Set(int64(len(s.queue)))
+	s.queueDepth.Set(int64(s.sched.totalQueued()))
 	s.cacheGauge.Set(int64(s.cache.len()))
 	s.idleWorlds.Set(int64(s.pool.idle()))
 }
@@ -320,9 +379,11 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)}) //nolint:errcheck // response already committed
 }
 
-// retryAfterSeconds is the backpressure hint on 429/503 answers: the queue
-// turns over in job-latency units, so a short fixed hint keeps rejected
-// clients closely packed behind the current burst without thundering back.
+// retryAfterSeconds is the backpressure hint on queue-full 429 and
+// draining 503 answers: queues turn over in job-latency units, so a short
+// fixed hint keeps rejected clients closely packed behind the current burst
+// without thundering back. Rate-limit 429s derive their hint from the
+// tenant's own token bucket instead (tenantSched.takeToken).
 const retryAfterSeconds = 1
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -336,7 +397,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
 		return
 	}
+	tenant, ok := tenantFrom(r)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "invalid %s header %q: want %s",
+			TenantHeader, r.Header.Get(TenantHeader), tenantNameRe)
+		return
+	}
+	tq := s.sched.tenantFor(tenant)
 	s.submitted.Inc()
+	tq.submitted.Inc()
+	// The rate bucket gates ingress before any request work — a tenant over
+	// its rate is shed before the body is even decoded, and the Retry-After
+	// hint is when its own bucket next grants a token.
+	if secs, ok := s.sched.takeToken(tq); !ok {
+		s.rejected.Inc()
+		tq.rejected.Inc()
+		tq.rejRate.Inc()
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+		writeError(w, http.StatusTooManyRequests, "tenant %q over its rate limit: retry in %ds", tenant, secs)
+		return
+	}
 	var req Request
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -358,6 +438,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if resp, ok := s.cache.get(key); ok {
 			s.hits.Inc()
 			resp.JobID = id
+			resp.Tenant = tenant
 			resp.Cached = true
 			s.respond(w, &resp)
 			return
@@ -367,10 +448,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.cfg.DefaultTimeout))
 	defer cancel()
-	j := &job{id: id, req: &req, g: g, fp: fp, key: key, ctx: ctx, done: make(chan struct{})}
+	j := &job{id: id, tenant: tenant, tq: tq, req: &req, g: g, fp: fp, key: key, ctx: ctx, done: make(chan struct{})}
 	// Authoritative drain check: the early one above is a fast path, but a
 	// drain beginning mid-request must still see either this job in pending
-	// or this request rejected — never neither.
+	// or this request rejected — never neither, for any tenant.
 	s.admitMu.Lock()
 	if s.draining.Load() {
 		s.admitMu.Unlock()
@@ -381,16 +462,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.pending.Add(1)
 	s.admitMu.Unlock()
-	select {
-	case s.queue <- j:
-		s.queueDepth.Set(int64(len(s.queue)))
-	default:
+	if !s.sched.enqueue(tq, j) {
 		s.pending.Done()
 		s.rejected.Inc()
+		tq.rejected.Inc()
+		tq.rejQueue.Inc()
 		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
-		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs pending): retry later", s.cfg.QueueLen)
+		writeError(w, http.StatusTooManyRequests,
+			"tenant %q queue full (%d jobs queued): retry later", tenant, tq.pol.MaxQueued)
 		return
 	}
+	tq.admitted.Inc()
 	<-j.done
 	if j.status != http.StatusOK {
 		writeError(w, j.status, "%s", j.errMsg)
@@ -445,22 +527,23 @@ func (s *Server) loadGraph(req *Request) (*graph.Graph, string, int, error) {
 	}
 }
 
-// workerLoop pulls admitted jobs until Stop.
+// workerLoop pulls dispatched jobs until Stop. The scheduler charges the
+// job's tenant a running slot on dispatch; the worker releases it when the
+// job leaves the worker, finished or shed.
 func (s *Server) workerLoop() {
 	defer s.workers.Done()
 	for {
-		select {
-		case <-s.quit:
+		j, tq, ok := s.sched.next()
+		if !ok {
 			return
-		case j := <-s.queue:
-			s.queueDepth.Set(int64(len(s.queue)))
-			if err := j.ctx.Err(); err != nil {
-				// Expired while queued: never ran, shed cheaply.
-				s.finishTimeout(j)
-				continue
-			}
+		}
+		if err := j.ctx.Err(); err != nil {
+			// Expired while queued: never ran, shed cheaply.
+			s.finishTimeout(j)
+		} else {
 			s.execute(j)
 		}
+		s.sched.release(tq)
 	}
 }
 
@@ -511,9 +594,14 @@ func (s *Server) execute(j *job) {
 		}
 		r.resp.JobID = j.id
 		r.resp.ElapsedSeconds = elapsed.Seconds()
+		// The cached copy carries no tenant: a hit may serve any tenant,
+		// which stamps its own id on its copy.
 		s.evictions.Add(int64(s.cache.put(j.key, *r.resp)))
+		r.resp.Tenant = j.tenant
 		s.completed.Inc()
+		j.tq.completed.Inc()
 		s.latencyHist.Observe(elapsed.Milliseconds())
+		j.tq.lat.Observe(elapsed.Milliseconds())
 		j.finish(http.StatusOK, r.resp, "")
 		s.pending.Done()
 	case <-j.ctx.Done():

@@ -308,6 +308,259 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// asTenant clones a client bound to a tenant id.
+func asTenant(cl *client.Client, tenant string) *client.Client {
+	c := *cl
+	c.Tenant = tenant
+	return &c
+}
+
+func TestTenantQueueIsolation(t *testing.T) {
+	_, gtext := testGraph(t)
+	srv, cl := startServer(t, service.Config{
+		QueueLen: 8, Workers: 1,
+		Policies: &service.TenantPolicies{Tenants: map[string]service.TenantPolicy{
+			"hot": {MaxQueued: 1},
+		}},
+	}, false)
+
+	// With no workers, hot's first job parks and fills its queue of 1.
+	hot, bg := asTenant(cl, "hot"), asTenant(cl, "bg")
+	parked := make(chan error, 2)
+	go func() {
+		_, err := hot.Submit(context.Background(), &service.Request{Algorithm: service.AlgoMatch, Graph: gtext})
+		parked <- err
+	}()
+	waitMetric(t, cl, "service.tenant.hot.queue_depth", 1)
+
+	// hot overflows its own queue...
+	_, err := hot.Submit(context.Background(), &service.Request{Algorithm: service.AlgoMatch, Graph: gtext, Seed: 2})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("hot overflow: %v, want 429", err)
+	}
+	if !strings.Contains(apiErr.Message, `tenant "hot"`) || !strings.Contains(apiErr.Message, "queue full") {
+		t.Fatalf("429 message %q does not name the tenant's full queue", apiErr.Message)
+	}
+
+	// ...while bg, under the same roof, still queues freely.
+	go func() {
+		_, err := bg.Submit(context.Background(), &service.Request{Algorithm: service.AlgoMatch, Graph: gtext, Seed: 3})
+		parked <- err
+	}()
+	waitMetric(t, cl, "service.tenant.bg.queue_depth", 1)
+
+	m, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counters["service.tenant.hot.rejected_queue"]; got != 1 {
+		t.Fatalf("hot rejected_queue = %d, want 1", got)
+	}
+	if got := m.Counters["service.tenant.bg.rejected"]; got != 0 {
+		t.Fatalf("bg rejected = %d, want 0", got)
+	}
+
+	// Start the workers: both parked jobs complete and carry their tenants.
+	srv.Start()
+	for i := 0; i < 2; i++ {
+		if err := <-parked; err != nil {
+			t.Fatalf("parked job failed after workers started: %v", err)
+		}
+	}
+}
+
+func TestTenantRateLimit429(t *testing.T) {
+	_, gtext := testGraph(t)
+	_, cl := startServer(t, service.Config{
+		QueueLen: 8, Workers: 1,
+		Policies: &service.TenantPolicies{Tenants: map[string]service.TenantPolicy{
+			// One token, refilled over ~17 minutes: the second request is
+			// deterministically over the limit however slow the test host.
+			"slow": {RatePerSec: 0.001, Burst: 1},
+		}},
+	}, true)
+	slow := asTenant(cl, "slow")
+
+	if _, err := slow.Submit(context.Background(), &service.Request{Algorithm: service.AlgoMatch, Graph: gtext}); err != nil {
+		t.Fatalf("first (burst) submission: %v", err)
+	}
+	_, err := slow.Submit(context.Background(), &service.Request{Algorithm: service.AlgoMatch, Graph: gtext, Seed: 2})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submission: %v, want 429", err)
+	}
+	if !strings.Contains(apiErr.Message, "rate limit") {
+		t.Fatalf("429 message %q does not mention the rate limit", apiErr.Message)
+	}
+	// Retry-After derives from the tenant's own bucket: 1 token at 0.001/s
+	// is 1000 seconds, not the fixed queue-full hint.
+	if apiErr.RetryAfter < 2*time.Second {
+		t.Fatalf("Retry-After = %v, want the bucket-derived wait", apiErr.RetryAfter)
+	}
+
+	// The default tenant is not rate-limited by slow's bucket.
+	if _, err := cl.Submit(context.Background(), &service.Request{Algorithm: service.AlgoMatch, Graph: gtext}); err != nil {
+		t.Fatalf("default-tenant submission: %v", err)
+	}
+
+	m, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counters["service.tenant.slow.rejected_rate"]; got != 1 {
+		t.Fatalf("slow rejected_rate = %d, want 1", got)
+	}
+}
+
+func TestInvalidTenantHeader400(t *testing.T) {
+	_, gtext := testGraph(t)
+	_, cl := startServer(t, service.Config{QueueLen: 4, Workers: 1}, true)
+	bad := asTenant(cl, "no spaces allowed")
+	_, err := bad.Submit(context.Background(), &service.Request{Algorithm: service.AlgoMatch, Graph: gtext})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("invalid tenant header: %v, want 400", err)
+	}
+}
+
+func TestResponseCarriesTenant(t *testing.T) {
+	_, gtext := testGraph(t)
+	_, cl := startServer(t, service.Config{QueueLen: 8, Workers: 1}, true)
+	req := &service.Request{Algorithm: service.AlgoMatch, Graph: gtext, Seed: 9}
+
+	alice := asTenant(cl, "alice")
+	first, err := alice.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Tenant != "alice" {
+		t.Fatalf("computed response tenant = %q, want alice", first.Tenant)
+	}
+	// A cache hit serves any tenant, stamped with the hitter's own id.
+	bob := asTenant(cl, "bob")
+	second, err := bob.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Tenant != "bob" {
+		t.Fatalf("cached response = (cached %v, tenant %q), want (true, bob)", second.Cached, second.Tenant)
+	}
+	if second.Result != first.Result {
+		t.Fatal("cross-tenant cache hit changed the result")
+	}
+}
+
+// TestDrainFlipsAllTenants extends the PR-5 mutex-ordering regression to
+// tenant queues: a drain racing concurrent multi-tenant submissions must
+// leave every job either admitted (and finished by Drain) or rejected with
+// 503 — never queued-but-unadmitted — and afterwards every tenant, known
+// or new, is refused.
+func TestDrainFlipsAllTenants(t *testing.T) {
+	_, gtext := testGraph(t)
+	srv, cl := startServer(t, service.Config{
+		QueueLen: 32, Workers: 2,
+		Policies: &service.TenantPolicies{Tenants: map[string]service.TenantPolicy{
+			"hot": {Weight: 1}, "bg": {Weight: 3},
+		}},
+	}, true)
+
+	tenants := []string{"", "hot", "bg"}
+	const jobs = 12
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := asTenant(cl, tenants[i%len(tenants)])
+			_, errs[i] = c.Submit(context.Background(), &service.Request{
+				Algorithm: service.AlgoColor, Graph: gtext, Seed: uint64(i + 1),
+			})
+		}(i)
+	}
+	waitMetric(t, cl, "service.jobs_submitted", 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Drain returning proves no admitted job leaked past pending.Add in any
+	// tenant's queue: Wait covers them all.
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	var apiErr *client.APIError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+			t.Errorf("job %d (tenant %q): %v, want success or 503", i, tenants[i%len(tenants)], err)
+		}
+	}
+
+	// Post-drain, submissions are refused for every tenant — existing
+	// queues, the default, and names never seen before.
+	for _, tenant := range []string{"", "hot", "bg", "brand-new"} {
+		c := asTenant(cl, tenant)
+		_, err := c.Submit(context.Background(), &service.Request{Algorithm: service.AlgoMatch, Graph: gtext})
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable || apiErr.RetryAfter <= 0 {
+			t.Errorf("tenant %q post-drain: %v, want 503 with Retry-After", tenant, err)
+		}
+	}
+	// Upload opens are refused too.
+	if _, err := cl.UploadOpen(context.Background(), 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Errorf("upload open post-drain: %v, want 503", err)
+	}
+}
+
+func TestTenantUploadBudgets(t *testing.T) {
+	_, cl := startServer(t, service.Config{
+		QueueLen: 8, Workers: 1,
+		Policies: &service.TenantPolicies{Tenants: map[string]service.TenantPolicy{
+			"up":   {MaxUploads: 1},
+			"slow": {RatePerSec: 0.001, Burst: 1},
+		}},
+	}, true)
+	up := asTenant(cl, "up")
+
+	st, err := up.UploadOpen(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	_, err = up.UploadOpen(context.Background(), 0)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("open beyond upload cap: %v, want 429", err)
+	}
+	if !strings.Contains(apiErr.Message, "upload cap") {
+		t.Fatalf("429 message %q does not mention the upload cap", apiErr.Message)
+	}
+
+	// Aborting the session releases the budget slot (the settle path).
+	if err := up.UploadAbort(context.Background(), st.UploadID); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	st2, err := up.UploadOpen(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("open after abort: %v", err)
+	}
+	up.UploadAbort(context.Background(), st2.UploadID) //nolint:errcheck // cleanup
+
+	// Upload opens consume the same rate bucket as jobs.
+	slow := asTenant(cl, "slow")
+	if _, err := slow.UploadOpen(context.Background(), 0); err != nil {
+		t.Fatalf("slow tenant first open: %v", err)
+	}
+	_, err = slow.UploadOpen(context.Background(), 0)
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("slow tenant second open: %v, want rate-limit 429", err)
+	}
+	if apiErr.RetryAfter < 2*time.Second {
+		t.Fatalf("Retry-After = %v, want the bucket-derived wait", apiErr.RetryAfter)
+	}
+}
+
 func TestMetricsEndpointStable(t *testing.T) {
 	_, cl := startServer(t, service.Config{}, true)
 	read := func() string {

@@ -1,0 +1,341 @@
+package service
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestTenantFromHeader(t *testing.T) {
+	cases := []struct {
+		header string
+		want   string
+		ok     bool
+	}{
+		{"", DefaultTenant, true},
+		{"alice", "alice", true},
+		{"team-a.batch_7", "team-a.batch_7", true},
+		{"-leading-dash", "", false},
+		{"has space", "", false},
+		{"über", "", false},
+		{"x123456789012345678901234567890123456789012345678901234567890123456789", "", false}, // > 64 chars
+	}
+	for _, tc := range cases {
+		r := httptest.NewRequest("POST", "/v1/jobs", nil)
+		if tc.header != "" {
+			r.Header.Set(TenantHeader, tc.header)
+		}
+		got, ok := tenantFrom(r)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("tenantFrom(%q) = (%q, %v), want (%q, %v)", tc.header, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestTenantPolicyNormalize(t *testing.T) {
+	p := TenantPolicy{}
+	p.normalize(32)
+	if p.Weight != 1 || p.Burst != 1 || p.MaxQueued != 32 || p.RatePerSec != 0 {
+		t.Fatalf("zero-value normalize = %+v", p)
+	}
+	p = TenantPolicy{RatePerSec: 2.5}
+	p.normalize(32)
+	if p.Burst != 3 {
+		t.Fatalf("burst = %d, want ceil(2.5) = 3", p.Burst)
+	}
+	p = TenantPolicy{Weight: 5, MaxQueued: 4}
+	p.normalize(32)
+	if p.Weight != 5 || p.MaxQueued != 4 {
+		t.Fatalf("explicit fields overwritten: %+v", p)
+	}
+}
+
+func TestLoadTenantPolicies(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := write("good.json", `{
+		"default": {"weight": 1},
+		"tenants": {
+			"hot": {"weight": 1, "rate_per_sec": 5, "max_queued": 8},
+			"bg":  {"weight": 3}
+		}
+	}`)
+	tp, err := LoadTenantPolicies(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.policyFor("bg").Weight; got != 3 {
+		t.Fatalf("bg weight = %d, want 3", got)
+	}
+	if got := tp.policyFor("unlisted"); got != tp.Default {
+		t.Fatalf("unlisted tenant policy = %+v, want the default", got)
+	}
+
+	// A typo'd field must fail loudly, not silently apply defaults.
+	typo := write("typo.json", `{"default": {"wieght": 3}}`)
+	if _, err := LoadTenantPolicies(typo); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	badName := write("badname.json", `{"tenants": {"no spaces": {}}}`)
+	if _, err := LoadTenantPolicies(badName); err == nil {
+		t.Fatal("invalid tenant name accepted")
+	}
+	negative := write("neg.json", `{"tenants": {"a": {"weight": -1}}}`)
+	if _, err := LoadTenantPolicies(negative); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+// testSched builds a scheduler with a frozen, manually-advanced clock.
+func testSched(pol *TenantPolicies, queueLen, maxTenants int) (*tenantSched, *time.Time) {
+	s := newTenantSched(pol, queueLen, maxTenants, nil)
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+	return s, &now
+}
+
+func TestTokenBucketRetryAfter(t *testing.T) {
+	pol := &TenantPolicies{Tenants: map[string]TenantPolicy{
+		"a": {RatePerSec: 2, Burst: 2},
+	}}
+	s, now := testSched(pol, 32, 64)
+	tq := s.tenantFor("a")
+
+	for i := 0; i < 2; i++ {
+		if secs, ok := s.takeToken(tq); !ok {
+			t.Fatalf("burst token %d denied (retry %ds)", i, secs)
+		}
+	}
+	secs, ok := s.takeToken(tq)
+	if ok {
+		t.Fatal("token granted beyond burst")
+	}
+	if secs != 1 { // ceil(1 token / 2 per sec) = 1
+		t.Fatalf("retry-after = %ds, want 1", secs)
+	}
+
+	*now = now.Add(500 * time.Millisecond) // refills one token
+	if _, ok := s.takeToken(tq); !ok {
+		t.Fatal("token denied after refill")
+	}
+	if _, ok := s.takeToken(tq); ok {
+		t.Fatal("second token granted without refill")
+	}
+
+	// An unlimited tenant never blocks.
+	def := s.tenantFor(DefaultTenant)
+	for i := 0; i < 100; i++ {
+		if _, ok := s.takeToken(def); !ok {
+			t.Fatal("unlimited tenant rate-limited")
+		}
+	}
+}
+
+// popAll drains the scheduler through the DRR dispatcher, returning the
+// tenant name of each dispatched job in order. Running slots are released
+// immediately so concurrency budgets don't interfere.
+func popAll(s *tenantSched) []string {
+	var order []string
+	for {
+		s.mu.Lock()
+		j, tq := s.popLocked()
+		s.mu.Unlock()
+		if j == nil {
+			return order
+		}
+		order = append(order, tq.name)
+	}
+}
+
+func TestWeightedDRROrder(t *testing.T) {
+	pol := &TenantPolicies{Tenants: map[string]TenantPolicy{
+		"big":   {Weight: 3},
+		"small": {Weight: 1},
+	}}
+	s, _ := testSched(pol, 32, 64)
+	big, small := s.tenantFor("big"), s.tenantFor("small")
+	for i := 0; i < 6; i++ {
+		s.enqueue(big, &job{})
+	}
+	for i := 0; i < 2; i++ {
+		s.enqueue(small, &job{})
+	}
+
+	got := popAll(s)
+	want := []string{"big", "big", "big", "small", "big", "big", "big", "small"}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d jobs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+	if s.totalQueued() != 0 {
+		t.Fatalf("queued = %d after drain", s.totalQueued())
+	}
+}
+
+func TestDRRIdleCreditDoesNotAccumulate(t *testing.T) {
+	pol := &TenantPolicies{Tenants: map[string]TenantPolicy{"a": {Weight: 4}}}
+	s, _ := testSched(pol, 32, 64)
+	a := s.tenantFor("a")
+
+	// One job leaves the tenant idle with unspent credit; the credit must
+	// not survive into the next burst.
+	s.enqueue(a, &job{})
+	popAll(s)
+	s.mu.Lock()
+	if a.deficit != 0 {
+		s.mu.Unlock()
+		t.Fatalf("idle tenant kept %d credit", a.deficit)
+	}
+	s.mu.Unlock()
+}
+
+func TestConcurrencyBudgetSkips(t *testing.T) {
+	pol := &TenantPolicies{Tenants: map[string]TenantPolicy{
+		"capped": {Weight: 3, MaxConcurrent: 1},
+		"other":  {Weight: 1},
+	}}
+	s, _ := testSched(pol, 32, 64)
+	capped, other := s.tenantFor("capped"), s.tenantFor("other")
+	s.enqueue(capped, &job{})
+	s.enqueue(capped, &job{})
+	s.enqueue(other, &job{})
+
+	j1, tq1, _ := s.next()
+	if j1 == nil || tq1 != capped {
+		t.Fatalf("first dispatch from %v, want capped", tq1)
+	}
+	// capped is at its budget: the dispatcher must skip to other even
+	// though capped has credit and queued jobs.
+	_, tq2, _ := s.next()
+	if tq2 != other {
+		t.Fatalf("second dispatch from %q, want other (capped is budget-blocked)", tq2.name)
+	}
+	// Releasing the slot unblocks the capped tenant.
+	s.release(capped)
+	_, tq3, _ := s.next()
+	if tq3 != capped {
+		t.Fatalf("third dispatch from %q, want capped after release", tq3.name)
+	}
+}
+
+func TestTenantFoldOverBeyondMax(t *testing.T) {
+	s, _ := testSched(nil, 32, 2) // default + one more
+	a := s.tenantFor("a")
+	if a.name != "a" {
+		t.Fatalf("tenant a folded prematurely into %q", a.name)
+	}
+	b := s.tenantFor("b")
+	if b.name != DefaultTenant {
+		t.Fatalf("tenant beyond the bound got its own queue %q", b.name)
+	}
+	// The fold is per-request, not sticky: a keeps its queue.
+	if again := s.tenantFor("a"); again != a {
+		t.Fatal("existing tenant lost its queue")
+	}
+}
+
+func TestSetPoliciesRebindsBuckets(t *testing.T) {
+	pol := &TenantPolicies{Tenants: map[string]TenantPolicy{
+		"a": {RatePerSec: 1, Burst: 1},
+	}}
+	s, _ := testSched(pol, 32, 64)
+	a := s.tenantFor("a")
+	if _, ok := s.takeToken(a); !ok {
+		t.Fatal("initial token denied")
+	}
+	if _, ok := s.takeToken(a); ok {
+		t.Fatal("token granted with empty bucket")
+	}
+
+	// Rate limit lifted: the tenant is unlimited at once.
+	s.setPolicies(&TenantPolicies{})
+	for i := 0; i < 10; i++ {
+		if _, ok := s.takeToken(a); !ok {
+			t.Fatal("token denied after limit lifted")
+		}
+	}
+
+	// Rate limit re-imposed: the bucket starts full (burst 2), then empties.
+	s.setPolicies(&TenantPolicies{Tenants: map[string]TenantPolicy{
+		"a": {RatePerSec: 0.001, Burst: 2},
+	}})
+	for i := 0; i < 2; i++ {
+		if _, ok := s.takeToken(a); !ok {
+			t.Fatalf("burst token %d denied after re-imposing limit", i)
+		}
+	}
+	secs, ok := s.takeToken(a)
+	if ok {
+		t.Fatal("token granted beyond re-imposed burst")
+	}
+	if secs < 1 {
+		t.Fatalf("retry-after = %ds, want >= 1", secs)
+	}
+
+	// Weights change live too: queued jobs stay queued under new weights.
+	s.enqueue(a, &job{})
+	if s.totalQueued() != 1 {
+		t.Fatal("queued job lost across setPolicies")
+	}
+}
+
+func TestSchedStopWakesWorkers(t *testing.T) {
+	s, _ := testSched(nil, 32, 64)
+	done := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, _, ok := s.next()
+			done <- ok
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let both block on the cond
+	s.stop()
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-done:
+			if ok {
+				t.Fatal("next returned a job after stop")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("worker still blocked after stop")
+		}
+	}
+}
+
+func TestUploadBudget(t *testing.T) {
+	pol := &TenantPolicies{Tenants: map[string]TenantPolicy{
+		"a": {MaxUploads: 2},
+	}}
+	s, _ := testSched(pol, 32, 64)
+	a := s.tenantFor("a")
+	if !s.addUpload(a) || !s.addUpload(a) {
+		t.Fatal("uploads within budget denied")
+	}
+	if s.addUpload(a) {
+		t.Fatal("upload beyond budget admitted")
+	}
+	s.dropUpload(a)
+	if !s.addUpload(a) {
+		t.Fatal("upload denied after a slot freed")
+	}
+	// Unbounded tenants never block.
+	def := s.tenantFor(DefaultTenant)
+	for i := 0; i < 100; i++ {
+		if !s.addUpload(def) {
+			t.Fatal("unbounded tenant upload denied")
+		}
+	}
+}
