@@ -177,14 +177,26 @@ func main() {
 		}
 	}
 
+	// Each success keeps its job and trace ids alongside the latency, so the
+	// summary can name the traces of the slowest requests — the ids to feed
+	// GET /v1/jobs/{id}/trace or dmgm-trace -job while the server's trace
+	// ring is still warm.
+	type sample struct {
+		Latency time.Duration
+		Millis  float64 `json:"ms"`
+		Algo    string  `json:"algorithm"`
+		JobID   string  `json:"job_id"`
+		TraceID string  `json:"trace_id"`
+		Cached  bool    `json:"cached"`
+	}
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		cached    int
-		failures  []string
-		attempts  atomic.Int64
-		next      atomic.Int64
-		wg        sync.WaitGroup
+		mu       sync.Mutex
+		samples  []sample
+		cached   int
+		failures []string
+		attempts atomic.Int64
+		next     atomic.Int64
+		wg       sync.WaitGroup
 	)
 	start := time.Now()
 	for w := 0; w < *c; w++ {
@@ -218,7 +230,14 @@ func main() {
 				if err != nil {
 					failures = append(failures, fmt.Sprintf("%s seed=%d: %v", spec.algo, spec.seed, err))
 				} else {
-					latencies = append(latencies, lat)
+					samples = append(samples, sample{
+						Latency: lat,
+						Millis:  float64(lat) / float64(time.Millisecond),
+						Algo:    spec.algo,
+						JobID:   resp.JobID,
+						TraceID: resp.TraceID,
+						Cached:  resp.Cached,
+					})
 					if resp.Cached {
 						cached++
 					}
@@ -247,40 +266,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmgm-load: metrics scrape: %v\n", err)
 	}
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Latency < samples[j].Latency })
 	pct := func(p float64) time.Duration {
-		if len(latencies) == 0 {
+		if len(samples) == 0 {
 			return 0
 		}
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i]
+		i := int(p * float64(len(samples)-1))
+		return samples[i].Latency
+	}
+	// The p99 tail by name: the slowest ~1% of successful jobs (at least
+	// one), slowest first, each with the trace id to pull its span tree.
+	var slowest []sample
+	if len(samples) > 0 {
+		k := len(samples) / 100
+		if k < 1 {
+			k = 1
+		}
+		for i := len(samples) - 1; i >= len(samples)-k; i-- {
+			slowest = append(slowest, samples[i])
+		}
 	}
 	summary := struct {
-		Jobs          int     `json:"jobs"`
-		OK            int     `json:"ok"`
-		Failed        int     `json:"failed"`
-		Cached        int     `json:"cached"`
-		ServerHits    int64   `json:"server_cache_hits"`
-		ServerRejects int64   `json:"server_rejects"`
-		Tenant        string  `json:"tenant,omitempty"`
-		TenantRejects int64   `json:"tenant_rejects"`
-		PartHits      int64   `json:"server_partition_cache_hits"`
-		StoreHits     int64   `json:"server_store_hits"`
-		Attempts      int64   `json:"attempts"`
-		UploadChunks  int     `json:"upload_chunks,omitempty"`
-		UploadRetried int     `json:"upload_chunks_retried,omitempty"`
-		UploadBytes   int64   `json:"upload_bytes,omitempty"`
-		UploadSeconds float64 `json:"upload_seconds,omitempty"`
-		ShortCircuit  bool    `json:"upload_short_circuit,omitempty"`
-		Seconds       float64 `json:"seconds"`
-		JobsPerSec    float64 `json:"jobs_per_sec"`
-		P50Millis     float64 `json:"p50_ms"`
-		P90Millis     float64 `json:"p90_ms"`
-		P99Millis     float64 `json:"p99_ms"`
-		MaxMillis     float64 `json:"max_ms"`
+		Jobs          int      `json:"jobs"`
+		OK            int      `json:"ok"`
+		Failed        int      `json:"failed"`
+		Cached        int      `json:"cached"`
+		ServerHits    int64    `json:"server_cache_hits"`
+		ServerRejects int64    `json:"server_rejects"`
+		Tenant        string   `json:"tenant,omitempty"`
+		TenantRejects int64    `json:"tenant_rejects"`
+		PartHits      int64    `json:"server_partition_cache_hits"`
+		StoreHits     int64    `json:"server_store_hits"`
+		Attempts      int64    `json:"attempts"`
+		UploadChunks  int      `json:"upload_chunks,omitempty"`
+		UploadRetried int      `json:"upload_chunks_retried,omitempty"`
+		UploadBytes   int64    `json:"upload_bytes,omitempty"`
+		UploadSeconds float64  `json:"upload_seconds,omitempty"`
+		ShortCircuit  bool     `json:"upload_short_circuit,omitempty"`
+		Seconds       float64  `json:"seconds"`
+		JobsPerSec    float64  `json:"jobs_per_sec"`
+		P50Millis     float64  `json:"p50_ms"`
+		P90Millis     float64  `json:"p90_ms"`
+		P99Millis     float64  `json:"p99_ms"`
+		MaxMillis     float64  `json:"max_ms"`
+		Slowest       []sample `json:"slowest,omitempty"`
 	}{
 		Jobs:          len(specs),
-		OK:            len(latencies),
+		OK:            len(samples),
 		Failed:        len(failures),
 		Cached:        cached,
 		ServerHits:    serverHits,
@@ -295,9 +327,10 @@ func main() {
 		P90Millis:     float64(pct(0.90)) / float64(time.Millisecond),
 		P99Millis:     float64(pct(0.99)) / float64(time.Millisecond),
 		MaxMillis:     float64(pct(1.0)) / float64(time.Millisecond),
+		Slowest:       slowest,
 	}
 	if elapsed > 0 {
-		summary.JobsPerSec = float64(len(latencies)) / elapsed.Seconds()
+		summary.JobsPerSec = float64(len(samples)) / elapsed.Seconds()
 	}
 	if upStats != nil {
 		summary.UploadChunks = upStats.ChunksSent
@@ -317,6 +350,10 @@ func main() {
 		fmt.Printf("elapsed %.2fs  throughput %.1f jobs/s\n", summary.Seconds, summary.JobsPerSec)
 		fmt.Printf("latency p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",
 			summary.P50Millis, summary.P90Millis, summary.P99Millis, summary.MaxMillis)
+		for _, s := range slowest {
+			fmt.Printf("slowest %s %.1fms  job %s  trace %s%s\n",
+				s.Algo, s.Millis, s.JobID, s.TraceID, map[bool]string{true: "  (cached)", false: ""}[s.Cached])
+		}
 	}
 	for _, f := range failures {
 		fmt.Fprintf(os.Stderr, "dmgm-load: failed: %s\n", f)

@@ -25,6 +25,15 @@
 //	dmgm-serve -addr :8321 -allow-paths            # permit graph_path jobs
 //	dmgm-serve -addr :8321 -http :9321             # live obs endpoint too
 //	dmgm-serve -addr :8321 -otlp http://localhost:4318
+//	dmgm-serve -addr :8321 -trace-slow-ms 250 -access-log access.jsonl
+//
+// Every job runs under a W3C trace (docs/PROTOCOL.md §9): the caller's
+// traceparent is honored or a trace id minted, echoed in the X-DMGM-Trace
+// answer header and the trace_id response field. Slow and failed jobs keep
+// their span tree in a bounded ring, served at GET /v1/jobs/{id}/trace and
+// rendered by dmgm-trace -job. With -otlp set, traces stream to the
+// collector as jobs finish and metrics push periodically — a continuous
+// pipeline, not an exit-time dump.
 //
 // Submit with curl (inline graph, text edge-list format):
 //
@@ -40,6 +49,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -68,6 +78,12 @@ func main() {
 		uploadMB     = flag.Int64("upload-mb", 1024, "per-upload-session byte budget, MiB")
 		tenantsPath  = flag.String("tenants", "", "per-tenant quota config, JSON (docs/OPERATIONS.md); SIGHUP reloads it live")
 		maxTenants   = flag.Int("max-tenants", 64, "distinct tenant queues; further tenant names fold into the default queue")
+		otlpInterval = flag.Duration("otlp-interval", 10*time.Second, "periodic OTLP metrics push interval (with -otlp)")
+		otlpDrain    = flag.Duration("otlp-drain", 5*time.Second, "OTLP delivery-queue drain budget at shutdown (with -otlp)")
+		traceSlowMS  = flag.Int64("trace-slow-ms", 1000, "retain the span tree of jobs slower than this, ms (0 retains every job, -1 none; errors always retained unless -1); serve them at GET /v1/jobs/{id}/trace")
+		traceRing    = flag.Int("trace-ring", 256, "retained job traces kept (FIFO; negative disables retention)")
+		accessLog    = flag.String("access-log", "", "structured JSON access log path, one line per request (\"-\" = stderr)")
+		noTracing    = flag.Bool("no-tracing", false, "disable request-scoped tracing entirely (results stay byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -87,6 +103,23 @@ func main() {
 	if of.Sample {
 		obsr.EnableDetailSampling()
 	}
+
+	// The access log is opened before the server so a bad path fails fast.
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmgm-serve: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		accessW = f
+	}
+
 	srv := service.NewServer(service.Config{
 		QueueLen:              *queueLen,
 		Workers:               *workers,
@@ -101,6 +134,14 @@ func main() {
 		Policies:              policies,
 		MaxTenants:            *maxTenants,
 		Observer:              obsr,
+		OTLPEndpoint:          of.OTLP,
+		OTLPInterval:          *otlpInterval,
+		OTLPDrainTimeout:      *otlpDrain,
+		RunID:                 of.RunID(),
+		DisableTracing:        *noTracing,
+		TraceSlowMillis:       *traceSlowMS,
+		TraceRing:             *traceRing,
+		AccessLog:             accessW,
 	})
 	srv.Start()
 
@@ -164,13 +205,12 @@ func main() {
 	}
 	srv.Stop()
 	hs.Shutdown(context.Background()) //nolint:errcheck // listeners are going away with the process
+	// No exit-time OTLP push here: with -otlp set the server runs a
+	// continuous export pipeline (per-job traces plus a periodic metrics
+	// push), and Stop above already drained it.
 	if err := of.Write(obsr, nil, 0, false); err != nil {
 		fmt.Fprintf(os.Stderr, "dmgm-serve: %v\n", err)
 		code = 1
-	}
-	if err := of.ExportOTLP(obsr, nil, 0); err != nil {
-		// Export is best-effort: warn, never fail the drain.
-		fmt.Fprintf(os.Stderr, "dmgm-serve: %v\n", err)
 	}
 	fmt.Fprintln(os.Stderr, "dmgm-serve: drained")
 	os.Exit(code)

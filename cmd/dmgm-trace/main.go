@@ -25,6 +25,14 @@
 //
 //	dmgm-trace -otlp-convert http://localhost:4318 out.json
 //	dmgm-trace -replay out.json
+//
+// With -job it renders the span tree a dmgm-serve daemon retained for one
+// slow or failed job (docs/PROTOCOL.md §9) as an indented tree — service
+// spans (admit, queue wait, partition, run, cache deposit) with the
+// distributed run's per-rank phases nested under them:
+//
+//	dmgm-trace -job http://localhost:8321/v1/jobs/job-000042/trace
+//	dmgm-trace -job saved-trace.json
 package main
 
 import (
@@ -48,7 +56,15 @@ func main() {
 	otlpConvert := flag.String("otlp-convert", "", "push the trace file to this OTLP/HTTP collector endpoint instead of printing a report")
 	otlpRun := flag.String("otlp-run", "", "run id for -otlp-convert (default: derived from the trace file name)")
 	replayMode := flag.Bool("replay", false, "feed the recorded phases into the performance model and report predicted-vs-observed error")
+	jobMode := flag.Bool("job", false, "render a dmgm-serve job trace (GET /v1/jobs/{id}/trace); arg is that URL or a file of its JSON")
 	flag.Parse()
+	if *jobMode {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: dmgm-trace -job <http://host:port/v1/jobs/ID/trace | trace.json>")
+			os.Exit(2)
+		}
+		os.Exit(jobTrace(flag.Arg(0)))
+	}
 	if *watchMode {
 		if flag.NArg() < 1 {
 			fmt.Fprintln(os.Stderr, "usage: dmgm-trace -watch [-interval 1s] <host:port|url> ...")

@@ -112,6 +112,27 @@ func WithObserver(o *obs.Observer) Option {
 	return func(w *World) { w.obs = o }
 }
 
+// SetObserver swaps the world's observer between runs — how the serving
+// layer's World pool gives every job its own span rings and registry on a
+// recycled world (and detaches them again with nil when the job is done).
+// Like Reset it refuses while any rank goroutine of an in-flight Run has not
+// returned, since those goroutines read the observer without locks.
+func (w *World) SetObserver(o *obs.Observer) error {
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+	if w.running {
+		return fmt.Errorf("mpi: SetObserver while ranks are still running")
+	}
+	w.obs = o
+	if m, ok := w.tr.(transport.MetricSetter); ok {
+		m.SetMetrics(o.Registry()) // nil observer → nil registry → no-op instruments
+	}
+	if o != nil {
+		o.Registry().Gauge("mpi.world_size").Set(int64(w.size))
+	}
+	return nil
+}
+
 // NewWorld creates a world with the given number of ranks.
 func NewWorld(size int, opts ...Option) (*World, error) {
 	if size <= 0 {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/mpi/transport"
+	"repro/internal/obs"
 )
 
 // exchange is a deterministic all-to-all: each rank sends its id to every
@@ -184,6 +185,99 @@ func TestResetWhileRunning(t *testing.T) {
 	}
 	if _, err := w.Reset(); err != nil {
 		t.Fatalf("Reset after Run returned: %v", err)
+	}
+}
+
+// TestSetObserverPerRun pins the pool-tracing contract: a recycled world can
+// swap observers between runs so each job gets isolated span rings and
+// metrics, the swap is refused while ranks are live, and detaching (nil)
+// leaves later runs unobserved.
+func TestSetObserverPerRun(t *testing.T) {
+	const p = 2
+	w, err := NewWorld(p, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := func(c *Comm) error {
+		tok := c.Tracer().Begin("test.phase")
+		c.Barrier()
+		c.Tracer().End(tok)
+		return nil
+	}
+
+	obsA := obs.NewObserver(p, 64)
+	if err := w.SetObserver(obsA); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(traced); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		if n := len(obsA.Tracer(r).Spans()); n != 1 {
+			t.Fatalf("run A: rank %d recorded %d spans, want 1", r, n)
+		}
+	}
+
+	if _, err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	obsB := obs.NewObserver(p, 64)
+	if err := w.SetObserver(obsB); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(traced); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		if n := len(obsA.Tracer(r).Spans()); n != 1 {
+			t.Fatalf("run B leaked into observer A: rank %d has %d spans", r, n)
+		}
+		if n := len(obsB.Tracer(r).Spans()); n != 1 {
+			t.Fatalf("run B: rank %d recorded %d spans in B, want 1", r, n)
+		}
+	}
+	if obsB.Registry().Snapshot().Gauges["mpi.world_size"] != p {
+		t.Fatal("world_size gauge not published into the swapped-in registry")
+	}
+
+	// Swapping while ranks are live must be refused, like Reset.
+	if _, err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	ready := make(chan struct{})
+	var once sync.Once
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(c *Comm) error {
+			once.Do(func() { close(ready) })
+			<-release
+			return nil
+		})
+	}()
+	<-ready
+	if err := w.SetObserver(nil); err == nil || !strings.Contains(err.Error(), "running") {
+		t.Fatalf("SetObserver during Run = %v, want a still-running error", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Detach: the next run records nowhere.
+	if _, err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetObserver(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(traced); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		if n := len(obsB.Tracer(r).Spans()); n != 1 {
+			t.Fatalf("detached run leaked into observer B: rank %d has %d spans", r, n)
+		}
 	}
 }
 

@@ -78,6 +78,7 @@ type OTLPScope struct {
 type OTLPSpan struct {
 	TraceID           string         `json:"traceId"`
 	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
 	Name              string         `json:"name"`
 	Kind              int            `json:"kind"`
 	StartTimeUnixNano string         `json:"startTimeUnixNano"`
@@ -184,6 +185,14 @@ type OTLPIdentity struct {
 	Service string
 	// WorldSize is the job's rank count (0 = omitted).
 	WorldSize int
+	// TraceIDHex, when set (32 lowercase hex chars), is used verbatim as the
+	// trace id instead of deriving one from RunID — how the serving layer
+	// lands a job's runtime spans inside the request's W3C trace.
+	TraceIDHex string
+	// ParentSpanHex, when set (16 lowercase hex chars), becomes the
+	// parentSpanId of every span whose Parent token is 0 — hanging a whole
+	// span batch (a runtime's flat per-rank phases) under one enclosing span.
+	ParentSpanHex string
 }
 
 func (id OTLPIdentity) service() string {
@@ -193,8 +202,12 @@ func (id OTLPIdentity) service() string {
 	return id.Service
 }
 
-// TraceID derives the 16-byte OTLP trace id from the run id, hex-encoded.
+// TraceID derives the 16-byte OTLP trace id from the run id, hex-encoded,
+// unless TraceIDHex pins one explicitly.
 func (id OTLPIdentity) TraceID() string {
+	if id.TraceIDHex != "" {
+		return id.TraceIDHex
+	}
 	h := fnv.New128a()
 	h.Write([]byte("dmgm-trace:" + id.RunID))
 	sum := h.Sum(nil)
@@ -286,9 +299,14 @@ func EncodeOTLPSpans(spans []Span, id OTLPIdentity) *OTLPTraceRequest {
 			if s.Msgs != 0 || s.Bytes != 0 {
 				attrs = append(attrs, otlpInt("dmgm.msgs", s.Msgs), otlpInt("dmgm.bytes", s.Bytes))
 			}
+			parent := id.ParentSpanHex
+			if s.Parent != 0 {
+				parent = id.SpanID(s.Rank, s.Parent)
+			}
 			out = append(out, OTLPSpan{
 				TraceID:           traceID,
 				SpanID:            id.SpanID(s.Rank, s.Seq),
+				ParentSpanID:      parent,
 				Name:              s.Name,
 				Kind:              otlpSpanKindInternal,
 				StartTimeUnixNano: unano(s.Start),

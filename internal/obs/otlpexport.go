@@ -148,6 +148,17 @@ func (e *OTLPExporter) run() {
 // ExportSpans encodes and enqueues the given spans, split into bounded
 // per-request batches. Safe on a nil exporter.
 func (e *OTLPExporter) ExportSpans(spans []Span, batchSpans int) {
+	if e == nil {
+		return
+	}
+	e.ExportSpansFor(spans, e.id, batchSpans)
+}
+
+// ExportSpansFor is ExportSpans under an explicit per-batch identity — the
+// serving daemon runs one long-lived exporter but gives every job its own
+// trace id and run id, so the identity travels with the spans rather than
+// with the exporter. Safe on a nil exporter.
+func (e *OTLPExporter) ExportSpansFor(spans []Span, id OTLPIdentity, batchSpans int) {
 	if e == nil || len(spans) == 0 {
 		return
 	}
@@ -160,7 +171,7 @@ func (e *OTLPExporter) ExportSpans(spans []Span, batchSpans int) {
 			hi = len(spans)
 		}
 		chunk := spans[lo:hi]
-		body, err := json.Marshal(EncodeOTLPSpans(chunk, e.id))
+		body, err := json.Marshal(EncodeOTLPSpans(chunk, id))
 		if err != nil {
 			e.drop(int64(len(chunk)))
 			continue

@@ -40,6 +40,12 @@ type Span struct {
 	// Detail marks a nested span (inner loop) as opposed to a top-level
 	// phase; analyzers must not sum detail spans into rank busy time.
 	Detail bool
+	// Parent is the Seq of this span's parent on the same tracer, or 0 for
+	// a root span. Parenting is optional — the runtime's flat per-rank
+	// phase spans leave it 0 — and exists for callers that record a span
+	// tree (the serving layer's per-job lifecycle trace). Exporters map a
+	// nonzero Parent onto the parent span's id.
+	Parent uint64
 	// Start is the wall-clock start in nanoseconds since the Unix epoch
 	// (wall time so that shards from different processes align when merged).
 	Start int64
@@ -110,7 +116,17 @@ func (t *Tracer) Begin(name string) uint64 {
 	if t == nil {
 		return 0
 	}
-	return t.begin(name, false)
+	return t.begin(name, false, 0)
+}
+
+// BeginUnder opens a span parented under the span whose token is parent —
+// how a caller builds an explicit span tree (parent 0 = root). The parent
+// is recorded by token only; it need not still occupy a ring slot.
+func (t *Tracer) BeginUnder(name string, parent uint64) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.begin(name, false, parent)
 }
 
 // BeginDetail opens a nested (inner-loop) span.
@@ -118,10 +134,10 @@ func (t *Tracer) BeginDetail(name string) uint64 {
 	if t == nil {
 		return 0
 	}
-	return t.begin(name, true)
+	return t.begin(name, true, 0)
 }
 
-func (t *Tracer) begin(name string, detail bool) uint64 {
+func (t *Tracer) begin(name string, detail bool, parent uint64) uint64 {
 	t.seq++
 	seq := t.seq
 	if detail && t.samples != nil {
@@ -134,7 +150,7 @@ func (t *Tracer) begin(name string, detail bool) uint64 {
 	// The slot temporarily holds the begin-time counters in Msgs/Bytes;
 	// End replaces them with deltas. Dur < 0 marks the span as open.
 	t.ring[seq%uint64(len(t.ring))] = Span{
-		Seq: seq, Rank: t.rank, Name: name, Detail: detail,
+		Seq: seq, Rank: t.rank, Name: name, Detail: detail, Parent: parent,
 		Start: t.now(), Dur: -1, Msgs: m, Bytes: b,
 	}
 	return seq
@@ -222,16 +238,40 @@ func (t *Tracer) EndN(tok uint64, n int64) {
 // for callers that time a phase themselves (the CLI drivers timing graph IO
 // and partitioning before any tracer exists for certain).
 func (t *Tracer) Observe(name string, start time.Time, n int64) {
+	t.ObserveUnder(name, start, n, 0)
+}
+
+// ObserveUnder is Observe with an explicit parent token (0 = root). It
+// returns the recorded span's own token so further spans can parent under
+// it — the serving layer hangs a job's runtime rank spans under the
+// retroactive "run" span this way. Returns 0 on a nil tracer.
+func (t *Tracer) ObserveUnder(name string, start time.Time, n int64, parent uint64) uint64 {
 	if t == nil {
-		return
+		return 0
+	}
+	return t.ObserveSpan(name, start.UnixNano(), t.now()-start.UnixNano(), n, parent)
+}
+
+// ObserveSpan records a fully specified retroactive span: start and duration
+// in nanoseconds, free argument, parent token (0 = root). It is the
+// lowest-level recording entry — for callers that timed an interval on
+// another goroutine and hand the measurements over later, like the serving
+// layer's partition span measured inside the run goroutine. Returns the
+// span's token (0 on nil).
+func (t *Tracer) ObserveSpan(name string, startNanos, durNanos, n int64, parent uint64) uint64 {
+	if t == nil {
+		return 0
+	}
+	if durNanos < 0 {
+		durNanos = 0
 	}
 	t.seq++
 	seq := t.seq
-	s := start.UnixNano()
 	t.ring[seq%uint64(len(t.ring))] = Span{
-		Seq: seq, Rank: t.rank, Name: name,
-		Start: s, Dur: t.now() - s, N: n,
+		Seq: seq, Rank: t.rank, Name: name, Parent: parent,
+		Start: startNanos, Dur: durNanos, N: n,
 	}
+	return seq
 }
 
 // Spans returns the completed spans still held by the tracer — the ring's,

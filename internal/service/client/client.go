@@ -30,6 +30,10 @@ type APIError struct {
 	// RetryAfter is the server's backpressure hint (0 if absent). Set on
 	// 429 (queue full) and 503 (draining) answers.
 	RetryAfter time.Duration
+	// TraceID is the request's trace id from the X-DMGM-Trace answer header
+	// (docs/PROTOCOL.md §9) — quote it when reporting a failure so the
+	// operator can pull the job's span tree.
+	TraceID string
 }
 
 func (e *APIError) Error() string {
@@ -53,6 +57,11 @@ type Client struct {
 	// job submission and upload call, accounting the work to that tenant's
 	// quotas (docs/PROTOCOL.md §8). Empty means the server's default tenant.
 	Tenant string
+	// Traceparent, when non-empty, is sent as the W3C traceparent header on
+	// every job submission, joining the job to the caller's own trace
+	// (docs/PROTOCOL.md §9). Empty lets the server mint a fresh trace id;
+	// either way Response.TraceID reports the id the job ran under.
+	Traceparent string
 }
 
 // New builds a client for the given base URL (a bare host:port is
@@ -85,6 +94,9 @@ func (c *Client) Submit(ctx context.Context, req *service.Request) (*service.Res
 	hreq.Header.Set("Content-Type", "application/json")
 	if c.Tenant != "" {
 		hreq.Header.Set(service.TenantHeader, c.Tenant)
+	}
+	if c.Traceparent != "" {
+		hreq.Header.Set(service.TraceparentHeader, c.Traceparent)
 	}
 	hresp, err := c.httpClient().Do(hreq)
 	if err != nil {
@@ -161,6 +173,30 @@ func (c *Client) WaitReady(ctx context.Context, deadline time.Duration) error {
 	}
 }
 
+// JobTrace fetches the retained span tree of a finished job from
+// GET /v1/jobs/{id}/trace (docs/PROTOCOL.md §9). Only slow and failed jobs
+// are retained (per the server's -trace-slow-ms policy) and the ring is
+// bounded, so a 404 means "not retained", not "never ran".
+func (c *Client) JobTrace(ctx context.Context, jobID string) (*service.JobTrace, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+jobID+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeError(hresp)
+	}
+	var jt service.JobTrace
+	if err := json.NewDecoder(hresp.Body).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("decoding trace: %w", err)
+	}
+	return &jt, nil
+}
+
 // Metrics scrapes /metrics into a registry snapshot — how dmgm-load reads
 // the server-side cache hit and shed counters after a run.
 func (c *Client) Metrics(ctx context.Context) (*obs.MetricsSnapshot, error) {
@@ -186,7 +222,10 @@ func (c *Client) Metrics(ctx context.Context) (*obs.MetricsSnapshot, error) {
 // decodeError turns a non-200 answer into an *APIError, tolerating
 // non-JSON bodies (proxies, http.Error plain text).
 func decodeError(resp *http.Response) error {
-	out := &APIError{Status: resp.StatusCode}
+	out := &APIError{
+		Status:  resp.StatusCode,
+		TraceID: resp.Header.Get(service.TraceHeader),
+	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
 			out.RetryAfter = time.Duration(secs) * time.Second

@@ -807,6 +807,16 @@ func jsonStatus(w http.ResponseWriter, st *Status) {
 }
 
 func (m *Manager) handleOpen(w http.ResponseWriter, r *http.Request) {
+	// Session opens join the caller's W3C trace like job submissions do
+	// (docs/PROTOCOL.md §9): accept a valid traceparent or mint a trace id,
+	// and echo it so an upload correlates with the jobs that follow it. The
+	// header names mirror service.TraceparentHeader / service.TraceHeader
+	// (service imports ingest, so the constants cannot live here).
+	tid, _, ok := obs.ParseTraceparent(r.Header.Get("Traceparent"))
+	if !ok {
+		tid = obs.NewTraceID()
+	}
+	w.Header().Set("X-DMGM-Trace", tid)
 	var req openRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {

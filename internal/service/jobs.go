@@ -204,6 +204,11 @@ type Response struct {
 	// Tenant is the tenant the job was accounted to (docs/PROTOCOL.md §8):
 	// the X-DMGM-Tenant request header, or "default" for anonymous callers.
 	Tenant string `json:"tenant,omitempty"`
+	// TraceID is the request's W3C trace id (docs/PROTOCOL.md §9) — the
+	// caller's own traceparent trace, or one the server minted. Stamped per
+	// request, like Tenant: a cache hit reports the requester's trace, not
+	// the producing run's.
+	TraceID string `json:"trace_id,omitempty"`
 
 	// Matching results.
 	Weight      float64 `json:"weight,omitempty"`

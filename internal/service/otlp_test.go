@@ -1,0 +1,176 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// collector is an in-process OTLP/HTTP collector recording every push, with
+// a scriptable status so the drop path is testable too.
+type collector struct {
+	mu     sync.Mutex
+	bodies map[string][][]byte
+	status int // 0 = 200
+	srv    *httptest.Server
+}
+
+func newCollector(status int) *collector {
+	c := &collector{bodies: map[string][][]byte{}, status: status}
+	c.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := make([]byte, 0, 1<<16)
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		c.mu.Lock()
+		c.bodies[r.URL.Path] = append(c.bodies[r.URL.Path], body)
+		status := c.status
+		c.mu.Unlock()
+		if status == 0 {
+			status = http.StatusOK
+		}
+		w.WriteHeader(status)
+		w.Write([]byte("{}")) //nolint:errcheck
+	}))
+	return c
+}
+
+// spans decodes every trace push into one flat list.
+func (c *collector) spans(t *testing.T) []obs.OTLPSpan {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []obs.OTLPSpan
+	for _, body := range c.bodies["/v1/traces"] {
+		var req obs.OTLPTraceRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			t.Fatalf("collector got unparsable trace push: %v", err)
+		}
+		for _, rs := range req.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				out = append(out, ss.Spans...)
+			}
+		}
+	}
+	return out
+}
+
+func (c *collector) pushes(path string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bodies[path])
+}
+
+// TestOTLPContinuousExportAndDrain is the daemon-lifecycle check: with -otlp
+// set, job traces stream to the collector as jobs finish, metrics push at
+// least once, and Stop drains the pipeline — everything enqueued before the
+// shutdown is delivered, nothing is dropped against a healthy collector.
+func TestOTLPContinuousExportAndDrain(t *testing.T) {
+	_, gtext := testGraph(t)
+	c := newCollector(0)
+	defer c.srv.Close()
+
+	srv, cl := startServer(t, service.Config{
+		QueueLen: 8, Workers: 1,
+		OTLPEndpoint: c.srv.URL,
+		OTLPInterval: time.Hour, // only the final shutdown push fires
+		RunID:        "daemon-test",
+	}, true)
+
+	const tid = "0af7651916cd43dd8448eb211c80319c"
+	cl.Traceparent = obs.Traceparent(tid, "b7ad6b7169203331")
+	if _, err := cl.Submit(context.Background(), &service.Request{
+		Algorithm: service.AlgoColor, Graph: gtext, Ranks: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scrape the drop/export counters before Stop closes the pipeline; the
+	// handler outlives Stop, but the numbers to check are the drained ones.
+	srv.Stop()
+	m, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["obs.otlp_dropped"] != 0 {
+		t.Fatalf("dropped %d items against a healthy collector", m.Counters["obs.otlp_dropped"])
+	}
+	if m.Counters["obs.otlp_exported"] == 0 {
+		t.Fatal("nothing exported")
+	}
+
+	spans := c.spans(t)
+	if len(spans) == 0 {
+		t.Fatal("collector received no spans")
+	}
+	svcSpans, rtSpans := 0, 0
+	for _, s := range spans {
+		if s.TraceID != tid {
+			t.Fatalf("span %q landed in trace %q, want the job's %q", s.Name, s.TraceID, tid)
+		}
+		if strings.HasPrefix(s.Name, "serve.") {
+			svcSpans++
+		} else {
+			rtSpans++
+		}
+	}
+	if svcSpans == 0 || rtSpans == 0 {
+		t.Fatalf("one trace must hold both layers: %d service spans, %d runtime spans", svcSpans, rtSpans)
+	}
+	// Stop's final pump push guarantees at least one metrics delivery even
+	// with the periodic interval effectively disabled.
+	if c.pushes("/v1/metrics") == 0 {
+		t.Fatal("no metrics push reached the collector")
+	}
+}
+
+// TestOTLPShutdownCountsDrops: a permanently failing collector (permanent
+// 4xx = no retries) must never wedge the daemon — Stop still returns, and
+// every lost item is counted in obs.otlp_dropped.
+func TestOTLPShutdownCountsDrops(t *testing.T) {
+	_, gtext := testGraph(t)
+	c := newCollector(http.StatusNotFound)
+	defer c.srv.Close()
+
+	srv, cl := startServer(t, service.Config{
+		QueueLen: 8, Workers: 1,
+		OTLPEndpoint:     c.srv.URL,
+		OTLPInterval:     time.Hour,
+		OTLPDrainTimeout: 5 * time.Second,
+	}, true)
+	if _, err := cl.Submit(context.Background(), &service.Request{
+		Algorithm: service.AlgoMatch, Graph: gtext, Ranks: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { srv.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Stop wedged on a failing collector")
+	}
+	m, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["obs.otlp_dropped"] == 0 {
+		t.Fatal("losses against a permanently failing collector were not counted")
+	}
+	if m.Counters["obs.otlp_exported"] != 0 {
+		t.Fatalf("exported %d items through a collector that rejects everything", m.Counters["obs.otlp_exported"])
+	}
+}

@@ -68,6 +68,10 @@ func (p *worldPool) get(ranks int) (*mpi.World, error) {
 // put resets a world and returns it to the free list; a world that cannot
 // be reset (or an over-full list) is dropped for the GC.
 func (p *worldPool) put(w *mpi.World) {
+	// Detach the job's observer so an idle world holds no reference to a
+	// finished job's registry and span rings. Refused while ranks are still
+	// running — exactly the case Reset below also refuses and discards.
+	w.SetObserver(nil) //nolint:errcheck // Reset catches the running case
 	stale, err := w.Reset()
 	p.staleMsgs.Add(int64(stale))
 	if err != nil {

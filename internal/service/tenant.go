@@ -202,6 +202,8 @@ type tenantQueue struct {
 	runningG   *obs.Gauge
 	uploadsG   *obs.Gauge
 	lat        *obs.Histogram
+	qwait      *obs.Histogram // queue wait, dispatch minus enqueue
+	runh       *obs.Histogram // run time on the worker (partition + supersteps)
 }
 
 // queuedLocked reports the tenant's queue depth.
@@ -291,6 +293,8 @@ func (s *tenantSched) addTenantLocked(name string) *tenantQueue {
 		runningG:   s.reg.Gauge("service.tenant." + name + ".running"),
 		uploadsG:   s.reg.Gauge("service.tenant." + name + ".uploads_open"),
 		lat:        s.reg.Histogram("service.tenant."+name+".latency_ms", obs.ExpBounds(1, 1<<22)),
+		qwait:      s.reg.Histogram("service.tenant."+name+".queue_wait_ms", obs.ExpBounds(1, 1<<22)),
+		runh:       s.reg.Histogram("service.tenant."+name+".run_ms", obs.ExpBounds(1, 1<<22)),
 	}
 	s.tenants[name] = tq
 	s.ring = append(s.ring, tq)
@@ -456,6 +460,17 @@ func (s *tenantSched) totalQueued() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.queued
+}
+
+// depths reports every tenant's current queue depth (the healthz body).
+func (s *tenantSched) depths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.ring))
+	for _, tq := range s.ring {
+		out[tq.name] = tq.queuedLocked()
+	}
+	return out
 }
 
 // setPolicies swaps the policy set at runtime (the SIGHUP reload path).
