@@ -10,6 +10,7 @@
 //	dmgm-load -addr 127.0.0.1:8321 -in graph.bin -algo match -require-cached
 //	dmgm-load -addr 127.0.0.1:8321 -in graph.txt -json > load.json
 //	dmgm-load -addr 127.0.0.1:8321 -in big.dmgb -upload -upload-chunk 262144
+//	dmgm-load -addr 127.0.0.1:8321 -in g.txt -upload -restart-check state.json   # record, then kill+restart the daemon, then run again to verify
 //
 // With -upload the graph ships once through the resumable chunked upload
 // API (DMGB encoding, docs/PROTOCOL.md §7) and every job references it by
@@ -35,6 +36,8 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -70,6 +73,7 @@ func main() {
 		upChunk  = flag.Int64("upload-chunk", 0, "upload chunk size in bytes (0: server default)")
 		upFault  = flag.Int("upload-fault", 0, "inject a simulated fault every n-th chunk (0 disables)")
 		compare  = flag.Bool("compare-inline", false, "with -upload: fail unless a by-ref job answers byte-identically to the same job sent inline")
+		restartC = flag.String("restart-check", "", "crash/restart conformance state file (docs/PROTOCOL.md §7): with -upload and no existing file, records graph_ref + result digests after the upload; when the file exists, verifies the recorded ref still resolves with byte-identical results and a 1-chunk re-upload, then exits")
 		tenant   = flag.String("tenant", "", "tenant to account requests to (X-DMGM-Tenant header; empty = server default tenant)")
 		reqTenR  = flag.Bool("require-tenant-rejects", false, "fail unless this tenant's server-side reject counter is non-zero after the run")
 		forbTenR = flag.Bool("forbid-tenant-rejects", false, "fail if this tenant's server-side reject counter is non-zero after the run")
@@ -114,6 +118,24 @@ func main() {
 	if err := cl.WaitReady(ctx, *wait); err != nil {
 		fmt.Fprintf(os.Stderr, "dmgm-load: %v\n", err)
 		os.Exit(1)
+	}
+
+	// -restart-check verify mode: the state file exists, so this is the
+	// post-restart half of the crash/restart smoke. The recorded graph_ref
+	// must resolve on the restarted daemon without any upload having
+	// happened in this process — the graph comes off the daemon's disk.
+	if *restartC != "" {
+		if b, err := os.ReadFile(*restartC); err == nil {
+			verifyRestartState(ctx, cl, g, b, *timeout)
+			return
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "dmgm-load: -restart-check: %v\n", err)
+			os.Exit(1)
+		}
+		if !*upload {
+			fmt.Fprintln(os.Stderr, "dmgm-load: -restart-check record mode requires -upload (the ref under test comes from the chunked upload)")
+			os.Exit(2)
+		}
 	}
 
 	// With -upload, ship the graph once through the chunked upload API and
@@ -162,6 +184,9 @@ func main() {
 				}
 			}
 			fmt.Fprintln(os.Stderr, "dmgm-load: -compare-inline: by-ref results byte-identical to inline")
+		}
+		if *restartC != "" {
+			recordRestartState(ctx, cl, g, *restartC, graphRef, algos, *ranks, *part, *seed, *timeout)
 		}
 	}
 
@@ -373,4 +398,105 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmgm-load: -forbid-tenant-rejects: tenant %s saw %d rejects (expected none)\n", scrapeTenant, tenantRejects)
 		os.Exit(1)
 	}
+}
+
+// restartState is the -restart-check handoff between the pre-kill and
+// post-restart halves of the crash/restart smoke: the graph_ref the first
+// daemon handed out, the deterministic job parameters, and the SHA-256 of
+// each algorithm's result text.
+type restartState struct {
+	GraphRef  string            `json:"graph_ref"`
+	Ranks     int               `json:"ranks"`
+	Partition string            `json:"partition"`
+	Seed      uint64            `json:"seed"`
+	Superstep int               `json:"superstep"`
+	Digests   map[string]string `json:"result_sha256"`
+}
+
+// restartRequest shapes the deterministic by-ref job both halves run: cache
+// bypassed, and Superstep >= n so coloring is timing-independent (same
+// reasoning as -compare-inline).
+func (st *restartState) request(algo string) *service.Request {
+	return &service.Request{Algorithm: algo, GraphRef: st.GraphRef, Ranks: st.Ranks,
+		Partition: st.Partition, Seed: st.Seed, Superstep: st.Superstep, NoCache: true}
+}
+
+func resultDigest(resp *service.Response) string {
+	sum := sha256.Sum256([]byte(resp.Result))
+	return hex.EncodeToString(sum[:])
+}
+
+// recordRestartState runs one deterministic job per algorithm against the
+// just-uploaded ref and writes the state file the verify half will read
+// after the daemon is killed and restarted.
+func recordRestartState(ctx context.Context, cl *client.Client, g *graph.Graph,
+	path, ref string, algos []string, ranks int, part string, seed uint64, timeout time.Duration) {
+	st := restartState{GraphRef: ref, Ranks: ranks, Partition: part, Seed: seed,
+		Superstep: g.NumVertices(), Digests: make(map[string]string)}
+	for _, a := range algos {
+		jctx, cancel := context.WithTimeout(ctx, timeout)
+		resp, err := cl.Submit(jctx, st.request(a))
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmgm-load: -restart-check record %s: %v\n", a, err)
+			os.Exit(1)
+		}
+		st.Digests[a] = resultDigest(resp)
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-load: -restart-check record: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dmgm-load: -restart-check: recorded ref %s and %d result digest(s) to %s\n",
+		ref[:12], len(st.Digests), path)
+}
+
+// verifyRestartState is the post-restart check: the recorded ref must
+// resolve (off the daemon's store directory — nothing was uploaded in this
+// process), every result must match its recorded digest byte for byte, and
+// re-uploading the graph must short-circuit after a single chunk.
+func verifyRestartState(ctx context.Context, cl *client.Client, g *graph.Graph,
+	raw []byte, timeout time.Duration) {
+	var st restartState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-load: -restart-check: bad state file: %v\n", err)
+		os.Exit(1)
+	}
+	if st.GraphRef == "" || len(st.Digests) == 0 {
+		fmt.Fprintln(os.Stderr, "dmgm-load: -restart-check: state file carries no ref or digests")
+		os.Exit(1)
+	}
+	for a, want := range st.Digests {
+		jctx, cancel := context.WithTimeout(ctx, timeout)
+		resp, err := cl.Submit(jctx, st.request(a))
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmgm-load: -restart-check: recorded graph_ref %s did not survive the restart (%s): %v\n",
+				st.GraphRef[:12], a, err)
+			os.Exit(1)
+		}
+		if got := resultDigest(resp); got != want {
+			fmt.Fprintf(os.Stderr, "dmgm-load: -restart-check: %s result diverges across restart: digest %s, recorded %s\n",
+				a, got[:12], want[:12])
+			os.Exit(1)
+		}
+	}
+	uctx, cancel := context.WithTimeout(ctx, timeout)
+	ref, up, err := cl.UploadGraph(uctx, g, client.UploadOptions{})
+	cancel()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-load: -restart-check: re-upload: %v\n", err)
+		os.Exit(1)
+	}
+	if ref != st.GraphRef || !up.ShortCircuit || up.ChunksSent != 1 {
+		fmt.Fprintf(os.Stderr, "dmgm-load: -restart-check: re-upload moved payload: ref %s short_circuit=%v chunks=%d, want the recorded ref in a 1-chunk short circuit\n",
+			ref[:12], up.ShortCircuit, up.ChunksSent)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dmgm-load: -restart-check: ref %s survived the restart — %d result(s) byte-identical, re-upload short-circuited after 1 chunk\n",
+		st.GraphRef[:12], len(st.Digests))
 }

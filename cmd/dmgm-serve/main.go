@@ -21,6 +21,7 @@
 //	dmgm-serve -addr :8321
 //	dmgm-serve -addr :8321 -workers 4 -queue 64 -cache 256
 //	dmgm-serve -addr :8321 -store-mb 1024 -upload-ttl 5m
+//	dmgm-serve -addr :8321 -store-dir /var/lib/dmgm/store  # graph_refs survive restarts
 //	dmgm-serve -addr :8321 -tenants tenants.json   # per-tenant quotas
 //	dmgm-serve -addr :8321 -allow-paths            # permit graph_path jobs
 //	dmgm-serve -addr :8321 -http :9321             # live obs endpoint too
@@ -73,6 +74,8 @@ func main() {
 		allowPaths   = flag.Bool("allow-paths", false, "permit graph_path requests (daemon-local file reads); trusted callers only")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before abandoning queued jobs")
 		storeMB      = flag.Int64("store-mb", 512, "content-addressed graph store budget, MiB")
+		storeDir     = flag.String("store-dir", "", "persist deposited graphs (canonical DMGB) under this directory; graph_refs then survive restarts (docs/PROTOCOL.md §7)")
+		storeDiskMB  = flag.Int64("store-disk-mb", 4096, "spill-directory byte budget, MiB; least recently used spill files beyond it are deleted (with -store-dir)")
 		partCache    = flag.Int("part-cache", 64, "warm partition cache entries (negative disables)")
 		uploadTTL    = flag.Duration("upload-ttl", 2*time.Minute, "idle upload sessions expire after this")
 		uploadMB     = flag.Int64("upload-mb", 1024, "per-upload-session byte budget, MiB")
@@ -120,7 +123,7 @@ func main() {
 		accessW = f
 	}
 
-	srv := service.NewServer(service.Config{
+	srv, err := service.NewServer(service.Config{
 		QueueLen:              *queueLen,
 		Workers:               *workers,
 		DefaultTimeout:        *timeout,
@@ -128,6 +131,8 @@ func main() {
 		MaxRanks:              *maxRanks,
 		AllowGraphPaths:       *allowPaths,
 		StoreBytes:            *storeMB << 20,
+		StoreDir:              *storeDir,
+		StoreDiskBytes:        *storeDiskMB << 20,
 		PartitionCacheEntries: *partCache,
 		UploadTTL:             *uploadTTL,
 		MaxUploadBytes:        *uploadMB << 20,
@@ -143,6 +148,10 @@ func main() {
 		TraceRing:             *traceRing,
 		AccessLog:             accessW,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmgm-serve: %v\n", err)
+		os.Exit(1)
+	}
 	srv.Start()
 
 	// SIGHUP reloads the tenant quota file live. A bad file keeps the

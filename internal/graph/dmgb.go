@@ -167,6 +167,44 @@ func ReadDMGB(r io.Reader) (*Graph, error) {
 	return g, err
 }
 
+// ReadDMGBWithHeader is ReadDMGB returning the verified header too — the
+// re-verifying read of the persistent graph store, which must additionally
+// check that the stream's (content-verified) fingerprint matches the address
+// the file was stored under.
+func ReadDMGBWithHeader(r io.Reader) (*Graph, *DMGBHeader, error) {
+	return readDMGB(asByteReader(r))
+}
+
+// readUvarintCanonical decodes one uvarint, rejecting non-minimal encodings.
+// The codec always writes minimal varints; accepting zero-padded forms (for
+// example 0x80 0x00 for 0) would let two distinct byte streams decode to the
+// same graph and break the canonical-bytes contract the content addresses
+// rely on (encode(decode(x)) must reproduce x exactly).
+func readUvarintCanonical(br io.ByteReader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, fmt.Errorf("uvarint overflows 64 bits")
+			}
+			if b == 0 && i > 0 {
+				return 0, fmt.Errorf("non-minimal uvarint encoding")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		if i == binary.MaxVarintLen64-1 {
+			return 0, fmt.Errorf("uvarint overflows 64 bits")
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
 // readDMGB is the decoder body, shared by ReadDMGB and ReadAuto.
 func readDMGB(br byteReader) (*Graph, *DMGBHeader, error) {
 	var hb [DMGBHeaderSize]byte
@@ -188,14 +226,17 @@ func readDMGB(br byteReader) (*Graph, *DMGBHeader, error) {
 	fh.word(0) // Xadj[0]
 	var total int64
 	for v := 0; v < n; v++ {
-		deg, err := binary.ReadUvarint(br)
+		deg, err := readUvarintCanonical(br)
 		if err != nil {
 			return nil, nil, fmt.Errorf("graph: DMGB degree of vertex %d: %w", v, err)
 		}
-		total += int64(deg)
-		if total > hdr.NumArcs {
+		// Compare before adding: deg is attacker-controlled up to 2^64-1, and
+		// total+int64(deg) could wrap past the declared bound. total stays in
+		// [0, NumArcs] (≤ 2^40), so the uint64 subtraction cannot underflow.
+		if deg > uint64(hdr.NumArcs)-uint64(total) {
 			return nil, nil, fmt.Errorf("graph: DMGB degrees exceed the declared %d arcs at vertex %d", hdr.NumArcs, v)
 		}
+		total += int64(deg)
 		g.Xadj = append(g.Xadj, total)
 		fh.word(uint64(total))
 	}
@@ -209,21 +250,27 @@ func readDMGB(br byteReader) (*Graph, *DMGBHeader, error) {
 		deg := int(g.Xadj[v+1] - g.Xadj[v])
 		prev := int64(-1)
 		for i := 0; i < deg; i++ {
-			raw, err := binary.ReadUvarint(br)
+			raw, err := readUvarintCanonical(br)
 			if err != nil {
 				return nil, nil, fmt.Errorf("graph: DMGB adjacency of vertex %d: %w", v, err)
 			}
+			// Bounds are checked on the raw uvarint, in uint64: converting an
+			// adversarial raw ≥ 2^63 to int64 first would go negative and slip
+			// past a signed `u >= n` check, planting negative vertex ids.
 			var u int64
 			if i == 0 {
+				if raw >= uint64(n) {
+					return nil, nil, fmt.Errorf("graph: DMGB neighbor %d of vertex %d out of range [0,%d)", raw, v, n)
+				}
 				u = int64(raw)
 			} else {
 				if raw == 0 {
 					return nil, nil, fmt.Errorf("graph: DMGB zero gap in adjacency of vertex %d", v)
 				}
+				if raw >= uint64(int64(n)-prev) {
+					return nil, nil, fmt.Errorf("graph: DMGB neighbor gap %d of vertex %d overruns the %d-vertex range", raw, v, n)
+				}
 				u = prev + int64(raw)
-			}
-			if u >= int64(n) {
-				return nil, nil, fmt.Errorf("graph: DMGB neighbor %d of vertex %d out of range [0,%d)", u, v, n)
 			}
 			prev = u
 			g.Adj = append(g.Adj, Vertex(u))

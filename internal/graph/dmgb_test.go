@@ -217,6 +217,91 @@ func TestDMGBRejectsCorruption(t *testing.T) {
 	})
 }
 
+// dmgbHeader hand-builds a header for adversarial-stream tests; the declared
+// fingerprint is zeros, which is fine for rejections that fire before the
+// fingerprint check.
+func dmgbHeader(n, arcs uint64, flags uint16) []byte {
+	hdr := make([]byte, DMGBHeaderSize)
+	copy(hdr[0:4], DMGBMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], DMGBVersion)
+	binary.LittleEndian.PutUint16(hdr[6:8], flags)
+	binary.LittleEndian.PutUint64(hdr[8:16], n)
+	binary.LittleEndian.PutUint64(hdr[16:24], arcs)
+	return hdr
+}
+
+func uvarint(x uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return tmp[:binary.PutUvarint(tmp[:], x)]
+}
+
+// TestDMGBRejectsAdversarialStreams pins the decoder fixes the fuzzing pass
+// demanded: arithmetic on attacker-controlled uvarints must not wrap into
+// accepted state, and only the canonical encoding may decode.
+func TestDMGBRejectsAdversarialStreams(t *testing.T) {
+	t.Run("degree sum overflow", func(t *testing.T) {
+		// Two 2^63 degrees wrap int64 addition back to 0 == declared arcs.
+		stream := append(dmgbHeader(2, 0, 0), uvarint(1<<63)...)
+		stream = append(stream, uvarint(1<<63)...)
+		_, err := ReadDMGB(bytes.NewReader(stream))
+		if err == nil || !strings.Contains(err.Error(), "exceed") {
+			t.Fatalf("wrapped degree sum: %v", err)
+		}
+	})
+	t.Run("negative first neighbor", func(t *testing.T) {
+		// A raw first neighbor ≥ 2^63 goes negative under int64 conversion
+		// and must be caught by an unsigned bound, not a signed one.
+		stream := append(dmgbHeader(2, 1, 0), uvarint(1)...) // degrees 1, 0
+		stream = append(stream, uvarint(0)...)
+		stream = append(stream, uvarint(1<<63)...) // vertex 0's neighbor
+		_, err := ReadDMGB(bytes.NewReader(stream))
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("negative neighbor: %v", err)
+		}
+	})
+	t.Run("gap overflow", func(t *testing.T) {
+		stream := append(dmgbHeader(3, 2, 0), uvarint(2)...) // degrees 2, 0, 0
+		stream = append(stream, uvarint(0)...)
+		stream = append(stream, uvarint(0)...)
+		stream = append(stream, uvarint(1)...)     // first neighbor 1
+		stream = append(stream, uvarint(1<<63)...) // gap wraps prev+gap
+		_, err := ReadDMGB(bytes.NewReader(stream))
+		if err == nil || !strings.Contains(err.Error(), "overruns") {
+			t.Fatalf("wrapped gap: %v", err)
+		}
+	})
+	t.Run("non-minimal uvarint", func(t *testing.T) {
+		// Re-encode a valid stream's first degree as a zero-padded two-byte
+		// varint: same decoded value, different bytes. The content fingerprint
+		// still matches, so only canonical-encoding rejection catches it —
+		// without it, encode(decode(x)) would not reproduce x.
+		g := dmgbTestGraph(t)
+		enc, err := EncodeDMGB(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := enc[DMGBHeaderSize]
+		if d >= 0x80 {
+			t.Fatalf("test wants a single-byte first degree, got %#x", d)
+		}
+		bad := append([]byte(nil), enc[:DMGBHeaderSize]...)
+		bad = append(bad, 0x80|d, 0x00)
+		bad = append(bad, enc[DMGBHeaderSize+1:]...)
+		_, err = ReadDMGB(bytes.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "non-minimal") {
+			t.Fatalf("non-minimal varint: %v", err)
+		}
+	})
+	t.Run("oversized uvarint", func(t *testing.T) {
+		stream := append(dmgbHeader(1, 0, 0),
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f) // 11th-bit overflow
+		_, err := ReadDMGB(bytes.NewReader(stream))
+		if err == nil || !strings.Contains(err.Error(), "overflows") {
+			t.Fatalf("overlong varint: %v", err)
+		}
+	})
+}
+
 // TestDMGBStreamingDecode feeds the decoder one byte at a time through a
 // pipe, the shape of an in-flight chunked upload.
 func TestDMGBStreamingDecode(t *testing.T) {

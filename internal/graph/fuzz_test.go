@@ -1,0 +1,95 @@
+package graph_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// fuzzSeedGraphs builds the seed corpus: the same generator families
+// dmgm-gen writes (Erdős–Rényi, grid, circuit-like) plus degenerate shapes a
+// generator never emits — an empty graph, a single vertex, an isolated-vertex
+// mix — each in weighted and unweighted form.
+func fuzzSeedGraphs(f *testing.F) []*graph.Graph {
+	f.Helper()
+	var gs []*graph.Graph
+	for _, weighted := range []bool{false, true} {
+		er, err := gen.ErdosRenyi(60, 180, weighted, 7)
+		if err != nil {
+			f.Fatal(err)
+		}
+		gs = append(gs, er)
+	}
+	build := func(n int, edges []graph.Edge) *graph.Graph {
+		g, err := graph.BuildUndirected(n, edges, graph.DedupeFirst)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return g
+	}
+	gs = append(gs,
+		build(0, nil),
+		build(1, nil),
+		build(5, []graph.Edge{{U: 0, V: 4, W: 2.5}}), // isolated vertices between the endpoints
+		build(4, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1}, {U: 0, V: 3, W: 1}}),
+	)
+	return gs
+}
+
+// FuzzDMGBDecode is the adversarial gate on the streaming DMGB decoder: no
+// input may panic it or force an allocation beyond what the stream's own
+// length supports, and any input it accepts must round-trip byte-identically
+// (the encoding is canonical, so decode-then-encode must reproduce exactly
+// the bytes consumed).
+func FuzzDMGBDecode(f *testing.F) {
+	for _, g := range fuzzSeedGraphs(f) {
+		enc, err := graph.EncodeDMGB(g)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		// Mutated variants steer the fuzzer at the interesting failure
+		// surfaces: a truncated body, a bit-flipped body byte, and a lying
+		// header field.
+		if len(enc) > graph.DMGBHeaderSize {
+			f.Add(enc[:graph.DMGBHeaderSize+len(enc)%17])
+			flip := append([]byte(nil), enc...)
+			flip[graph.DMGBHeaderSize] ^= 0x40
+			f.Add(flip)
+		}
+		lie := append([]byte(nil), enc...)
+		lie[8] ^= 0x01 // vertex count
+		f.Add(lie)
+	}
+	f.Add([]byte("DMGB"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := graph.ReadDMGB(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking or over-allocating is not
+		}
+		// Structural sanity of whatever was accepted.
+		n := g.NumVertices()
+		if n < 0 || int64(len(g.Adj)) != g.Xadj[n] {
+			t.Fatalf("decoded inconsistent CSR: n=%d len(Adj)=%d Xadj[n]=%d", n, len(g.Adj), g.Xadj[n])
+		}
+		for i, u := range g.Adj {
+			if u < 0 || int(u) >= n {
+				t.Fatalf("decoded out-of-range neighbor Adj[%d]=%d with n=%d", i, u, n)
+			}
+		}
+		// Canonical round-trip: re-encoding must reproduce exactly the bytes
+		// the decoder consumed (data may carry trailing garbage beyond the
+		// stream, which the streaming decoder never reads).
+		enc, err := graph.EncodeDMGB(g)
+		if err != nil {
+			t.Fatalf("re-encoding accepted stream: %v", err)
+		}
+		if len(enc) > len(data) || !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("decode/encode round-trip not byte-identical: decoded %d-vertex graph re-encodes to %d bytes", n, len(enc))
+		}
+	})
+}

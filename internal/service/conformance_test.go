@@ -2,6 +2,8 @@ package service_test
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -14,6 +16,8 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/partition"
 	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/service/ingest"
 )
 
 // TestServiceMatchesCLI is the service↔CLI conformance gate: a job submitted
@@ -116,4 +120,105 @@ func TestServiceMatchesCLI(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestRestartConformance is the persistence gate (docs/PROTOCOL.md §7): a
+// graph uploaded in chunks to a daemon with a store directory must remain
+// addressable by its graph_ref after the daemon dies and a new one starts on
+// the same directory — with byte-identical job results and zero re-uploaded
+// chunks. The first daemon is simply abandoned mid-steady-state, never
+// drained: deposits are durable at upload completion (temp-file + rename +
+// sync), not at shutdown, which is exactly what a SIGKILL exercises.
+func TestRestartConformance(t *testing.T) {
+	dir := t.TempDir()
+	g, err := gen.ErdosRenyi(800, 3200, true, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := graph.Fingerprint(g)
+
+	_, cl1 := startServer(t, service.Config{Workers: 2, StoreDir: dir}, true)
+	ref, stats, err := cl1.UploadGraph(context.Background(), g, client.UploadOptions{ChunkBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != fp {
+		t.Fatalf("graph_ref %s, want the fingerprint %s", ref, fp)
+	}
+	if stats.ChunksSent < 4 {
+		t.Fatalf("upload went in %d chunks, want >=4 (grow the graph or shrink the chunks)", stats.ChunksSent)
+	}
+	req := &service.Request{Algorithm: service.AlgoMatch, GraphRef: ref, Ranks: 2, Seed: 5}
+	before, err := cl1.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The "restarted" daemon: a second server on the same directory, while
+	// the first is abandoned un-drained.
+	_, cl2 := startServer(t, service.Config{Workers: 2, StoreDir: dir}, true)
+	after, err := cl2.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("graph_ref did not survive the restart: %v", err)
+	}
+	if after.Result != before.Result {
+		t.Fatal("restarted daemon produced a different result for the same ref and parameters")
+	}
+	if after.Weight != before.Weight || after.Cardinality != before.Cardinality {
+		t.Fatalf("summary fields diverge across restart: (%g, %d) vs (%g, %d)",
+			after.Weight, after.Cardinality, before.Weight, before.Cardinality)
+	}
+	m, err := cl2.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["ingest.spill_rehydrations"] < 1 {
+		t.Fatal("restarted daemon answered the ref without rehydrating from disk — where did the graph come from?")
+	}
+
+	// Re-uploading the same graph moves zero payload: chunk 0 alone reveals
+	// the fingerprint the disk index already knows.
+	_, stats2, err := cl2.UploadGraph(context.Background(), g, client.UploadOptions{ChunkBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats2.ShortCircuit || stats2.ChunksSent != 1 {
+		t.Fatalf("re-upload after restart: short_circuit=%v chunks=%d, want a 1-chunk short circuit",
+			stats2.ShortCircuit, stats2.ChunksSent)
+	}
+}
+
+// TestHealthzStoreSection asserts the operator surface of the spill tier:
+// /healthz carries a store section with both tiers' occupancy, present even
+// without a store directory (spill fields then omitted).
+func TestHealthzStoreSection(t *testing.T) {
+	dir := t.TempDir()
+	_, cl := startServer(t, service.Config{Workers: 1, StoreDir: dir}, true)
+	_, gtext := testGraph(t)
+	if _, err := cl.Submit(context.Background(), &service.Request{
+		Algorithm: service.AlgoMatch, Graph: gtext, Ranks: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := struct {
+		Store ingest.StoreStats `json:"store"`
+	}{}
+	resp, err := http.Get(cl.Base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Store.Entries != 1 || rec.Store.Bytes <= 0 {
+		t.Fatalf("store section: %+v, want the one deposited graph accounted", rec.Store)
+	}
+	if rec.Store.SpillDir != dir || rec.Store.SpillFiles != 1 || rec.Store.SpillBytes <= 0 {
+		t.Fatalf("spill section: %+v, want one spill file under %s", rec.Store, dir)
+	}
+	if rec.Store.SpillBudget <= 0 {
+		t.Fatalf("spill budget %d, want the configured default", rec.Store.SpillBudget)
+	}
 }

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package ingest
+
+import "os"
+
+// fileIno has no inode to report off unix; the path cache falls back to
+// size+modtime identity.
+func fileIno(os.FileInfo) uint64 { return 0 }

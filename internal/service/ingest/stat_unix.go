@@ -1,0 +1,17 @@
+//go:build unix
+
+package ingest
+
+import (
+	"os"
+	"syscall"
+)
+
+// fileIno extracts the inode from a stat result, the third leg of the
+// path-cache identity alongside size and modtime.
+func fileIno(fi os.FileInfo) uint64 {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return st.Ino
+	}
+	return 0
+}

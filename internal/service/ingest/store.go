@@ -36,6 +36,12 @@ type Store struct {
 	flight   map[string]*flightCall   // in-progress loads, by caller key
 	paths    map[string]pathEntry     // daemon-local file loads, by path
 
+	// spill is the persistent tier (spill.go); nil means memory-only, the
+	// pre-persistence behavior. reg is kept so EnableSpill can register its
+	// instruments.
+	spill *spillTier
+	reg   *obs.Registry
+
 	hits      *obs.Counter
 	misses    *obs.Counter
 	evictions *obs.Counter
@@ -59,11 +65,16 @@ type flightCall struct {
 }
 
 // pathEntry remembers what a daemon-local file decoded to, keyed by the
-// file's stat identity so an overwritten file is re-decoded.
+// file's stat identity so an overwritten file is re-decoded. Size and
+// modtime alone are spoofable on coarse-timestamp filesystems (replace a
+// file with an equal-sized one inside the same second), so the inode is
+// part of the identity, and all three are captured from the open descriptor
+// after the decode finished — the identity of the bytes actually read.
 type pathEntry struct {
 	fp      string
 	size    int64
 	modTime time.Time
+	ino     uint64 // 0 where the platform exposes no inode
 }
 
 // NewStore builds a store holding up to maxBytes of decoded graphs
@@ -79,6 +90,7 @@ func NewStore(maxBytes int64, reg *obs.Registry) *Store {
 		m:         make(map[string]*list.Element),
 		flight:    make(map[string]*flightCall),
 		paths:     make(map[string]pathEntry),
+		reg:       reg,
 		hits:      reg.Counter("ingest.store_hits"),
 		misses:    reg.Counter("ingest.store_misses"),
 		evictions: reg.Counter("ingest.store_evictions"),
@@ -104,24 +116,39 @@ func (s *Store) Get(fp string) (*graph.Graph, bool) {
 }
 
 // Contains reports presence without touching LRU order or the hit counters —
-// the probe an upload session uses to decide a short-circuit.
+// the probe an upload session uses to decide a short-circuit. A graph that
+// has been evicted from memory but still has its spill file counts as
+// present: the next job rehydrates it, so re-uploading the bytes would be
+// wasted work.
 func (s *Store) Contains(fp string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	_, ok := s.m[fp]
-	return ok
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	return s.spill != nil && s.spill.contains(fp)
 }
 
 // Put stores a graph under its fingerprint, evicting least recently used
 // entries beyond the byte budget. The newest entry always stays, so one
-// oversized graph is held rather than thrashed.
+// oversized graph is held rather than thrashed. With a spill tier enabled
+// the canonical encoding is also written to disk (outside the store lock;
+// content-addressed names make concurrent duplicate writes harmless), so
+// the ref survives both memory eviction and a daemon restart.
 func (s *Store) Put(fp string, g *graph.Graph) {
 	size := GraphBytes(g)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.m[fp]; ok {
 		s.ll.MoveToFront(el)
-		return // content-addressed: an existing entry is the same graph
+		s.mu.Unlock()
+		// Content-addressed: an existing entry is the same graph. Still make
+		// sure the spill file exists — it may have been evicted by the disk
+		// budget or quarantined since the first deposit.
+		if s.spill != nil {
+			s.spill.write(fp, g)
+		}
+		return
 	}
 	s.m[fp] = s.ll.PushFront(&storeEntry{fp: fp, g: g, size: size})
 	s.bytes += size
@@ -135,6 +162,40 @@ func (s *Store) Put(fp string, g *graph.Graph) {
 	}
 	s.bytesG.Set(s.bytes)
 	s.entriesG.Set(int64(s.ll.Len()))
+	s.mu.Unlock()
+	if s.spill != nil {
+		s.spill.write(fp, g)
+	}
+}
+
+// Resolve returns the graph for a fingerprint, rehydrating it from the
+// spill tier when it is on disk but not in memory. The second result
+// reports whether a disk read happened — the service uses it to emit a
+// rehydrate span. Concurrent resolves of the same evicted ref share one
+// decode through the single-flight path, and a corrupt spill file is
+// quarantined by the loader so the miss is not sticky: the next Resolve is
+// a plain miss and the client re-uploads.
+func (s *Store) Resolve(fp string) (g *graph.Graph, rehydrated bool, ok bool) {
+	if g, ok := s.Get(fp); ok {
+		return g, false, true
+	}
+	if s.spill == nil || !s.spill.contains(fp) {
+		return nil, false, false
+	}
+	g, _, err := s.loadShared("spill:"+fp, false, func() (*graph.Graph, string, error) {
+		g, err := s.spill.load(fp)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, fp, nil
+	})
+	if err != nil {
+		// The spill file was corrupt or vanished; load() already quarantined
+		// and dropped the index entry, so this ref now reads as absent.
+		return nil, false, false
+	}
+	s.Put(fp, g)
+	return g, true, true
 }
 
 // Len reports the entry count.
@@ -162,7 +223,8 @@ func (s *Store) LoadPath(path string) (*graph.Graph, string, error) {
 		return nil, "", err
 	}
 	s.mu.Lock()
-	if pe, ok := s.paths[path]; ok && pe.size == info.Size() && pe.modTime.Equal(info.ModTime()) {
+	if pe, ok := s.paths[path]; ok &&
+		pe.size == info.Size() && pe.modTime.Equal(info.ModTime()) && pe.ino == fileIno(info) {
 		if el, ok := s.m[pe.fp]; ok {
 			s.hits.Inc()
 			s.ll.MoveToFront(el)
@@ -172,7 +234,7 @@ func (s *Store) LoadPath(path string) (*graph.Graph, string, error) {
 		}
 	}
 	s.mu.Unlock()
-	g, fp, err := s.loadShared("path:"+path, func() (*graph.Graph, string, error) {
+	g, fp, err := s.loadShared("path:"+path, true, func() (*graph.Graph, string, error) {
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, "", err
@@ -182,20 +244,28 @@ func (s *Store) LoadPath(path string) (*graph.Graph, string, error) {
 		if err != nil {
 			return nil, "", fmt.Errorf("decoding %s: %w", path, err)
 		}
-		return g, graph.Fingerprint(g), nil
+		fp := graph.Fingerprint(g)
+		// Record the stat identity from the descriptor we just read, not the
+		// pre-open Stat: if the file was replaced between stat and open, the
+		// cache entry must describe the bytes that were actually decoded.
+		if fi, err := f.Stat(); err == nil {
+			s.mu.Lock()
+			s.paths[path] = pathEntry{fp: fp, size: fi.Size(), modTime: fi.ModTime(), ino: fileIno(fi)}
+			s.mu.Unlock()
+		}
+		return g, fp, nil
 	})
 	if err != nil {
 		return nil, "", err
 	}
-	s.mu.Lock()
-	s.paths[path] = pathEntry{fp: fp, size: info.Size(), modTime: info.ModTime()}
-	s.mu.Unlock()
 	s.Put(fp, g)
 	return g, fp, nil
 }
 
-// loadShared runs load once per key across concurrent callers.
-func (s *Store) loadShared(key string, load func() (*graph.Graph, string, error)) (*graph.Graph, string, error) {
+// loadShared runs load once per key across concurrent callers. countMiss
+// governs whether the losing-the-race path counts as a store miss; Resolve
+// passes false because its preceding Get already counted one.
+func (s *Store) loadShared(key string, countMiss bool, load func() (*graph.Graph, string, error)) (*graph.Graph, string, error) {
 	s.mu.Lock()
 	if c, ok := s.flight[key]; ok {
 		s.mu.Unlock()
@@ -205,7 +275,9 @@ func (s *Store) loadShared(key string, load func() (*graph.Graph, string, error)
 	}
 	c := &flightCall{done: make(chan struct{})}
 	s.flight[key] = c
-	s.misses.Inc()
+	if countMiss {
+		s.misses.Inc()
+	}
 	s.mu.Unlock()
 
 	c.g, c.fp, c.err = load()
@@ -214,4 +286,34 @@ func (s *Store) loadShared(key string, load func() (*graph.Graph, string, error)
 	s.mu.Unlock()
 	close(c.done)
 	return c.g, c.fp, c.err
+}
+
+// StoreStats is the /healthz snapshot of both tiers.
+type StoreStats struct {
+	Entries      int    `json:"entries"`
+	Bytes        int64  `json:"bytes"`
+	MaxBytes     int64  `json:"max_bytes"`
+	SpillDir     string `json:"spill_dir,omitempty"`
+	SpillFiles   int64  `json:"spill_files,omitempty"`
+	SpillBytes   int64  `json:"spill_bytes,omitempty"`
+	SpillBudget  int64  `json:"spill_budget_bytes,omitempty"`
+	Rehydrations int64  `json:"rehydrations,omitempty"`
+	Corrupt      int64  `json:"corrupt_quarantined,omitempty"`
+}
+
+// Stats snapshots the store for the health endpoint.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	st := StoreStats{Entries: s.ll.Len(), Bytes: s.bytes, MaxBytes: s.maxBytes}
+	s.mu.Unlock()
+	if s.spill != nil {
+		dir, bytes, files, budget := s.spill.stats()
+		st.SpillDir = dir
+		st.SpillBytes = bytes
+		st.SpillFiles = int64(files)
+		st.SpillBudget = budget
+		st.Rehydrations = s.spill.rehydrations.Load()
+		st.Corrupt = s.spill.corrupt.Load()
+	}
+	return st
 }

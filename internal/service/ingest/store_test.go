@@ -1,0 +1,67 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestLoadPathDetectsSameSecondReplace is the regression test for the
+// path-cache identity: replacing a daemon-local graph file with an
+// equal-sized one carrying the very same modtime (the worst case of a
+// 1-second-granularity filesystem) must still invalidate the cached decode.
+// Size and modtime are identical by construction here; only the inode
+// distinguishes the files.
+func TestLoadPathDetectsSameSecondReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	// Same byte length, different weight — different fingerprints.
+	a := "g 2 1\ne 0 1 1.0\n"
+	b := "g 2 1\ne 0 1 2.0\n"
+	if err := os.WriteFile(path, []byte(a), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fileIno(info) == 0 {
+		t.Skip("platform exposes no inode identity; size+modtime fallback is untestable here")
+	}
+
+	st := NewStore(64<<20, obs.NewRegistry())
+	_, fp1, err := st.LoadPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-cache sanity: an untouched file is served from the path cache.
+	if _, again, err := st.LoadPath(path); err != nil || again != fp1 {
+		t.Fatalf("repeat load: fp %s err %v, want cached %s", again, err, fp1)
+	}
+
+	// Replace via rename (a new inode) and pin the replacement's stat to the
+	// original's exact size and modtime.
+	repl := filepath.Join(dir, "g.txt.new")
+	if err := os.WriteFile(repl, []byte(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(repl, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, info.ModTime(), info.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	if ni, err := os.Stat(path); err != nil || ni.Size() != info.Size() || !ni.ModTime().Equal(info.ModTime()) {
+		t.Fatalf("fixture broken: replacement must match size and modtime exactly (err %v)", err)
+	}
+
+	_, fp2, err := st.LoadPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 == fp1 {
+		t.Fatal("stale path-cache entry: replaced file decoded to the old fingerprint")
+	}
+}

@@ -50,6 +50,15 @@ type Config struct {
 	AllowGraphPaths bool
 	// StoreBytes bounds the content-addressed graph store (default 512 MiB).
 	StoreBytes int64
+	// StoreDir, when set, persists every deposited graph's canonical DMGB
+	// encoding under this directory (docs/PROTOCOL.md §7): refs survive both
+	// memory eviction and daemon restarts, rehydrated lazily on first use.
+	// Empty keeps the store memory-only, the pre-persistence behavior.
+	StoreDir string
+	// StoreDiskBytes bounds the spill directory; least recently used spill
+	// files beyond it are deleted (default 4 GiB). Only meaningful with
+	// StoreDir set.
+	StoreDiskBytes int64
 	// PartitionCacheEntries bounds the warm partition cache (default 64;
 	// negative disables it).
 	PartitionCacheEntries int
@@ -136,6 +145,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.StoreBytes == 0 {
 		c.StoreBytes = 512 << 20
+	}
+	if c.StoreDiskBytes == 0 {
+		c.StoreDiskBytes = 4 << 30
 	}
 	if c.PartitionCacheEntries == 0 {
 		c.PartitionCacheEntries = 64
@@ -251,7 +263,9 @@ type Server struct {
 }
 
 // NewServer builds a server from cfg. Call Start before serving traffic.
-func NewServer(cfg Config) *Server {
+// The only failure mode is an unusable StoreDir (unreadable, uncreatable);
+// without one, NewServer always succeeds.
+func NewServer(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	reg := cfg.Observer.Registry()
 	s := &Server{
@@ -290,6 +304,14 @@ func NewServer(cfg Config) *Server {
 	}
 	reg.Gauge("service.queue_cap").Set(int64(cfg.QueueLen))
 	reg.Gauge("service.workers").Set(int64(cfg.Workers))
+	if cfg.StoreDir != "" {
+		// Enabled before any deposit can happen: the startup scan indexes
+		// what a previous daemon run left behind, so old refs resolve and
+		// re-uploads of spilled graphs short-circuit from the first request.
+		if err := s.store.EnableSpill(ingest.SpillConfig{Dir: cfg.StoreDir, MaxBytes: cfg.StoreDiskBytes}); err != nil {
+			return nil, fmt.Errorf("store dir %s: %w", cfg.StoreDir, err)
+		}
+	}
 	s.ingest = ingest.NewManager(ingest.Config{
 		TTL:         cfg.UploadTTL,
 		MaxSessions: cfg.MaxUploadSessions,
@@ -303,7 +325,7 @@ func NewServer(cfg Config) *Server {
 		Admit:    s.admitUpload,
 		Registry: reg,
 	})
-	return s
+	return s, nil
 }
 
 // SetPolicies replaces the per-tenant admission policies at runtime — the
@@ -512,6 +534,9 @@ type healthBody struct {
 	Queues         map[string]int `json:"queues,omitempty"` // per-tenant queue depths
 	IdleWorlds     int            `json:"idle_worlds"`
 	TracesRetained int            `json:"traces_retained"`
+	// Store snapshots both tiers of the graph store; the spill_* fields are
+	// present only when a StoreDir is configured.
+	Store ingest.StoreStats `json:"store"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -523,6 +548,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Queues:         s.sched.depths(),
 		IdleWorlds:     s.pool.idle(),
 		TracesRetained: s.traces.len(),
+		Store:          s.store.Stats(),
 	}
 	code := http.StatusOK
 	if s.draining.Load() {
@@ -621,7 +647,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	jt.algo, jt.ranks = req.Algorithm, req.Ranks
 	// Resolve: inline parse, store lookup, or path load.
 	resolveTok := jt.begin(spanResolve)
-	g, fp, status, err := s.loadGraph(&req)
+	g, fp, status, err := s.loadGraph(&req, jt)
 	if err != nil {
 		jt.end(resolveTok, 0)
 		fail(status, "loading graph: %v", err)
@@ -762,8 +788,9 @@ func (s *Server) shouldRetain(status int, total time.Duration) bool {
 
 // loadGraph resolves the request's graph — inline, by reference, or
 // daemon-local — returning the graph, its fingerprint, and on failure the
-// HTTP status to answer with.
-func (s *Server) loadGraph(req *Request) (*graph.Graph, string, int, error) {
+// HTTP status to answer with. A graph_ref rehydrated from the spill tier
+// records a span under the request's resolve stage.
+func (s *Server) loadGraph(req *Request, jt *jobTrace) (*graph.Graph, string, int, error) {
 	switch {
 	case req.Graph != "":
 		g, err := graph.ReadText(strings.NewReader(req.Graph))
@@ -777,10 +804,14 @@ func (s *Server) loadGraph(req *Request) (*graph.Graph, string, int, error) {
 		s.store.Put(fp, g)
 		return g, fp, 0, nil
 	case req.GraphRef != "":
-		g, ok := s.store.Get(req.GraphRef)
+		start := time.Now()
+		g, rehydrated, ok := s.store.Resolve(req.GraphRef)
 		if !ok {
 			return nil, "", http.StatusNotFound,
 				fmt.Errorf("unknown graph_ref %s (never uploaded, or evicted): upload the graph again", req.GraphRef)
+		}
+		if rehydrated {
+			jt.observe(spanRehydrate, start, int64(g.NumVertices()))
 		}
 		return g, req.GraphRef, 0, nil
 	default:

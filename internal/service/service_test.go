@@ -39,7 +39,10 @@ func startServer(t *testing.T, cfg service.Config, start bool) (*service.Server,
 	if cfg.Observer == nil {
 		cfg.Observer = obs.NewObserver(0, 0)
 	}
-	srv := service.NewServer(cfg)
+	srv, err := service.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if start {
 		srv.Start()
 	}

@@ -44,6 +44,7 @@ const (
 	spanJob         = "serve.job"
 	spanAdmit       = "serve.admit"
 	spanResolve     = "serve.resolve"
+	spanRehydrate   = "serve.partition.rehydrate" // graph_ref served from the disk spill tier
 	spanCacheHit    = "serve.cache.hit"
 	spanQueueWait   = "serve.queue_wait"
 	spanPoolAcquire = "serve.pool_acquire"
